@@ -1,0 +1,49 @@
+//! Criterion benchmarks of whole-simulation throughput: instructions
+//! simulated per wall-clock second for representative workload × machine
+//! combinations. These guard the harness against performance regressions —
+//! every figure run multiplies these costs by 26 benchmarks × several
+//! configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use timekeeping::CorrelationConfig;
+use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+const INSTS: u64 = 200_000;
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.throughput(Throughput::Elements(INSTS));
+    g.sample_size(10);
+
+    let cases: [(&str, SpecBenchmark, SystemConfig); 4] = [
+        ("eon_base", SpecBenchmark::Eon, SystemConfig::base()),
+        ("gcc_base", SpecBenchmark::Gcc, SystemConfig::base()),
+        (
+            "twolf_victim",
+            SpecBenchmark::Twolf,
+            SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        ),
+        (
+            "swim_tk_prefetch",
+            SpecBenchmark::Swim,
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        ),
+    ];
+    for (name, bench, cfg) in cases {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(bench, cfg),
+            |b, &(w, cfg)| {
+                b.iter(|| {
+                    let mut workload = w.build(1);
+                    black_box(run_workload(&mut workload, cfg, INSTS).ipc())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out:
+//!
+//! 1. the victim filter's dead-time threshold (the paper fixes 1 K cycles
+//!    by its Little's-law argument in §4.2),
+//! 2. the correlation-table size and index split (the constructive-aliasing
+//!    claim of §5.2.2),
+//! 3. the live-time safety factor (×2 in §5.1.2),
+//! 4. the global tick period (512 cycles).
+//!
+//! Usage: `ablation [instructions]` (default 4,000,000).
+
+use timekeeping::CorrelationConfig;
+use tk_bench::fmt::{pct, TextTable};
+use tk_bench::runner::{run_bench, FigureOpts};
+use tk_sim::{PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+fn main() {
+    let mut opts = FigureOpts::from_args();
+    if std::env::args().nth(1).is_none() {
+        opts.instructions = 4_000_000;
+    }
+
+    // ---- 1. Dead-time threshold of the victim filter --------------------
+    println!("Ablation 1: victim-filter dead-time threshold (twolf, vpr)\n");
+    let mut t = TextTable::new(vec!["threshold", "twolf", "vpr", "admit(twolf)"]);
+    for threshold in [512u64, 1024, 2048, 4096, 16384, u64::MAX / 2, u64::MAX / 3] {
+        let mut cells = vec![if threshold == u64::MAX / 2 {
+            "unfiltered".to_owned()
+        } else if threshold == u64::MAX / 3 {
+            "adaptive".to_owned()
+        } else {
+            threshold.to_string()
+        }];
+        let mut admit = String::new();
+        for b in [SpecBenchmark::Twolf, SpecBenchmark::Vpr] {
+            let base = run_bench(b, SystemConfig::base(), opts);
+            let mode = if threshold == u64::MAX / 2 {
+                VictimMode::Unfiltered
+            } else if threshold == u64::MAX / 3 {
+                VictimMode::AdaptiveDeadTime
+            } else {
+                VictimMode::DeadTime { threshold }
+            };
+            let r = run_bench(b, SystemConfig::with_victim(mode), opts);
+            cells.push(pct(r.speedup_over(&base)));
+            if b == SpecBenchmark::Twolf {
+                admit = r
+                    .victim
+                    .and_then(|v| v.admission_rate())
+                    .map_or("n/a".into(), pct);
+            }
+        }
+        cells.push(admit);
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // ---- 2. Correlation-table size / index split ------------------------
+    println!("Ablation 2: correlation-table geometry (swim, ammp, mcf)\n");
+    let mut t = TextTable::new(vec!["table", "swim", "ammp", "mcf"]);
+    let tables = [
+        (
+            "2KB  m=5 n=1",
+            CorrelationConfig {
+                m_bits: 5,
+                n_bits: 1,
+                ways: 8,
+            },
+        ),
+        ("8KB  m=7 n=1", CorrelationConfig::PAPER_8KB),
+        (
+            "8KB  m=4 n=4",
+            CorrelationConfig {
+                m_bits: 4,
+                n_bits: 4,
+                ways: 8,
+            },
+        ),
+        (
+            "64KB m=10 n=1",
+            CorrelationConfig {
+                m_bits: 10,
+                n_bits: 1,
+                ways: 8,
+            },
+        ),
+        ("2MB  m=15 n=1", CorrelationConfig::LARGE_2MB),
+    ];
+    for (name, cfg) in tables {
+        let mut cells = vec![name.to_owned()];
+        for b in [SpecBenchmark::Swim, SpecBenchmark::Ammp, SpecBenchmark::Mcf] {
+            let base = run_bench(b, SystemConfig::base(), opts);
+            let r = run_bench(
+                b,
+                SystemConfig::with_prefetch(PrefetchMode::Timekeeping(cfg)),
+                opts,
+            );
+            cells.push(pct(r.speedup_over(&base)));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "(§5.2.2: indexing with mostly tag bits — m large, n small — enables the\n\
+         constructive aliasing that lets 8 KB compete with megabyte tables;\n\
+         mcf alone keeps scaling with table size.)\n"
+    );
+
+    // ---- 3. Global tick period ------------------------------------------
+    println!("Ablation 3: global tick period (swim, ammp with TK prefetch)\n");
+    let mut t = TextTable::new(vec!["tick", "swim", "ammp"]);
+    for tick in [128u64, 256, 512, 1024, 2048] {
+        let mut cells = vec![tick.to_string()];
+        for b in [SpecBenchmark::Swim, SpecBenchmark::Ammp] {
+            let mut base_cfg = SystemConfig::base();
+            base_cfg.machine.tick_period = tick;
+            let base = run_bench(b, base_cfg, opts);
+            let mut cfg = SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+                CorrelationConfig::PAPER_8KB,
+            ));
+            cfg.machine.tick_period = tick;
+            let r = run_bench(b, cfg, opts);
+            cells.push(pct(r.speedup_over(&base)));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "(Coarser ticks delay prefetch scheduling; finer ticks cost counter\n\
+         bits. The paper's 512-cycle tick sits on the plateau.)\n"
+    );
+
+    // ---- 4. L1 associativity vs DM + filtered victim cache ---------------
+    println!("Ablation 4: direct-mapped + victim cache vs set-associative L1 (twolf, crafty)\n");
+    let mut t = TextTable::new(vec!["L1 organization", "twolf", "crafty"]);
+    let mk_geom =
+        |assoc: u32| timekeeping::CacheGeometry::new(32 * 1024, assoc, 32).expect("valid L1");
+    let configs: [(&str, u32, VictimMode); 4] = [
+        ("DM, no VC", 1, VictimMode::None),
+        ("DM + tk victim cache", 1, VictimMode::paper_dead_time()),
+        ("2-way", 2, VictimMode::None),
+        ("4-way", 4, VictimMode::None),
+    ];
+    for (name, assoc, victim) in configs {
+        let mut cells = vec![name.to_owned()];
+        for b in [SpecBenchmark::Twolf, SpecBenchmark::Crafty] {
+            let base = run_bench(b, SystemConfig::base(), opts);
+            let mut cfg = SystemConfig::with_victim(victim);
+            cfg.machine.l1d = mk_geom(assoc);
+            let r = run_bench(b, cfg, opts);
+            cells.push(pct(r.speedup_over(&base)));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "(Jouppi's classic result, recovered by the timekeeping filter: a\n\
+         direct-mapped L1 with a well-managed 32-entry victim cache recoups\n\
+         most of the benefit of genuine associativity.)\n"
+    );
+
+    // ---- 5. Slack-aware prefetch issue (§5.2.2 aside) --------------------
+    println!("Ablation 5: slack-aware prefetch issue on bursty art\n");
+    let mut t = TextTable::new(vec!["policy", "speedup", "issued", "discarded"]);
+    let base = run_bench(SpecBenchmark::Art, SystemConfig::base(), opts);
+    for (name, slack) in [("eager", false), ("slack-aware", true)] {
+        let mut cfg =
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB));
+        cfg.slack_prefetch = slack;
+        let r = run_bench(SpecBenchmark::Art, cfg, opts);
+        t.row(vec![
+            name.to_owned(),
+            pct(r.speedup_over(&base)),
+            r.hierarchy.pf_issued.to_string(),
+            r.pf_queue_discards.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(Slack scheduling holds non-urgent prefetches for idle-bus windows —\n\
+         the §5.2.2 aside about exploiting arrival slack. On art the bus is\n\
+         rarely fully idle, so the conservative policy starves itself: a\n\
+         negative result that shows why the paper shipped the eager counter\n\
+         scheme and left slack exploitation as future work.)"
+    );
+}

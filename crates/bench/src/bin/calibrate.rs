@@ -1,0 +1,39 @@
+//! Calibration sweep: base vs ideal vs mechanisms for every benchmark.
+use timekeeping::{CorrelationConfig, DbcpConfig, MissKind};
+use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+fn main() {
+    let insts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    println!(
+        "{:10} {:>6} {:>6} {:>7} {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5} | miss%  conf% cold% cap%",
+        "bench", "base", "ideal", "pot%", "vcU%", "vcC%", "vcD%", "tk%", "dbcp%", ""
+    );
+    for b in SpecBenchmark::ALL {
+        let run = |cfg: SystemConfig| {
+            let mut w = b.build(1);
+            run_workload(&mut w, cfg, insts)
+        };
+        let base = run(SystemConfig::base());
+        let ideal = run(SystemConfig::ideal());
+        let vc_u = run(SystemConfig::with_victim(VictimMode::Unfiltered));
+        let vc_c = run(SystemConfig::with_victim(VictimMode::Collins));
+        let vc_d = run(SystemConfig::with_victim(VictimMode::paper_dead_time()));
+        let tk = run(SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+            CorrelationConfig::PAPER_8KB,
+        )));
+        let dbcp = run(SystemConfig::with_prefetch(PrefetchMode::Dbcp(
+            DbcpConfig::PAPER_2MB,
+        )));
+        let bd = base.breakdown;
+        println!("{:10} {:6.3} {:6.3} {:6.1}% {:5.1}% {:5.1}% {:5.1}% | {:4.1}% {:4.1}% | {:5.2}% {:4.0}/{:.0}/{:.0}",
+            b.name(), base.ipc(), ideal.ipc(), ideal.speedup_over(&base)*100.0,
+            vc_u.speedup_over(&base)*100.0, vc_c.speedup_over(&base)*100.0, vc_d.speedup_over(&base)*100.0,
+            tk.speedup_over(&base)*100.0, dbcp.speedup_over(&base)*100.0,
+            base.hierarchy.l1_miss_rate()*100.0,
+            bd.fraction(MissKind::Conflict)*100.0, bd.fraction(MissKind::Cold)*100.0, bd.fraction(MissKind::Capacity)*100.0);
+    }
+}

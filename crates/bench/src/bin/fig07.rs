@@ -1,0 +1,6 @@
+//! Regenerates Figure 07 of the paper. Optional first argument: the
+//! instruction budget per simulation run.
+use tk_bench::{figures, FigureOpts};
+fn main() {
+    println!("{}", figures::fig07(FigureOpts::from_args()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 21 of the paper. Optional first argument: the
+//! instruction budget per simulation run.
+use tk_bench::{figures, FigureOpts};
+fn main() {
+    println!("{}", figures::fig21(FigureOpts::from_args()));
+}

@@ -1,0 +1,34 @@
+//! Quick TK-vs-DBCP spot check used during calibration.
+use timekeeping::{CorrelationConfig, DbcpConfig};
+use tk_bench::runner::{run_bench, FigureOpts};
+use tk_sim::{PrefetchMode, SystemConfig};
+use tk_workloads::SpecBenchmark;
+fn main() {
+    let mut opts = FigureOpts::from_args();
+    if std::env::args().nth(1).is_none() {
+        opts.instructions = 8_000_000;
+    }
+    for name in std::env::args().skip(2) {
+        let Some(b) = SpecBenchmark::from_name(&name) else {
+            continue;
+        };
+        let base = run_bench(b, SystemConfig::base(), opts);
+        let tk = run_bench(
+            b,
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+            opts,
+        );
+        let db = run_bench(
+            b,
+            SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+            opts,
+        );
+        println!(
+            "{:8} base {:.3} tk {:+.1}% dbcp {:+.1}%",
+            b.name(),
+            base.ipc(),
+            tk.speedup_over(&base) * 100.0,
+            db.speedup_over(&base) * 100.0
+        );
+    }
+}

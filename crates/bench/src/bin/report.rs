@@ -1,0 +1,52 @@
+//! Regenerates every figure report into `reports/` in one run — the
+//! portable equivalent of `gen_reports.sh` for the table/figure set.
+//!
+//! Usage: `report [instructions] [output-dir]`
+//! (defaults: 8,000,000 and `reports/`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use tk_bench::{figures, FigureOpts};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let dir: PathBuf = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "reports".into())
+        .into();
+    fs::create_dir_all(&dir).expect("create output directory");
+
+    type Job = Box<dyn Fn(FigureOpts) -> String>;
+    let jobs: Vec<(&str, Job)> = vec![
+        ("table1", Box::new(|_| figures::table1())),
+        ("fig01", Box::new(figures::fig01)),
+        ("fig02", Box::new(figures::fig02)),
+        ("fig04", Box::new(figures::fig04)),
+        ("fig05", Box::new(figures::fig05)),
+        ("fig07", Box::new(figures::fig07)),
+        ("fig08", Box::new(figures::fig08)),
+        ("fig09", Box::new(figures::fig09)),
+        ("fig10", Box::new(figures::fig10)),
+        ("fig11", Box::new(figures::fig11)),
+        ("fig13", Box::new(figures::fig13)),
+        ("fig14", Box::new(figures::fig14)),
+        ("fig15", Box::new(figures::fig15)),
+        ("fig16", Box::new(figures::fig16)),
+        ("fig19", Box::new(figures::fig19)),
+        ("fig20", Box::new(figures::fig20)),
+        ("fig21", Box::new(figures::fig21)),
+        ("fig22", Box::new(figures::fig22)),
+    ];
+
+    for (name, job) in jobs {
+        eprintln!(
+            "generating {name} ({} instructions/run)...",
+            opts.instructions
+        );
+        let text = job(opts);
+        let path = dir.join(format!("{name}.txt"));
+        fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+    eprintln!("done: reports in {}", dir.display());
+}

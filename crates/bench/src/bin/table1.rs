@@ -1,0 +1,4 @@
+//! Prints Table 1 (simulated machine configuration).
+fn main() {
+    println!("{}", tk_bench::figures::table1());
+}

@@ -1,0 +1,192 @@
+//! Plain-text table and bar-chart rendering for figure reports.
+
+use timekeeping::Histogram;
+
+/// Renders a fraction (0.0–1.0) as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Renders an optional fraction, with `n/a` for `None`.
+pub fn pct_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "n/a".to_owned(), pct)
+}
+
+/// Renders a horizontal bar of `width` characters filled to `frac`
+/// (clamped to 0–1).
+pub fn bar(frac: f64, width: usize) -> String {
+    let f = frac.clamp(0.0, 1.0);
+    let filled = (f * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// A minimal aligned-column text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align first column, right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", c, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a histogram as percentage bars over its first `buckets` buckets
+/// plus the overflow tail, in the paper's figure style.
+pub fn histogram_chart(h: &Histogram, buckets: usize, unit: &str) -> String {
+    let mut out = String::new();
+    if h.is_empty() {
+        out.push_str("(no samples)\n");
+        return out;
+    }
+    let fractions = h.fractions();
+    let shown = buckets.min(h.num_buckets());
+    let max_frac = fractions[..shown]
+        .iter()
+        .copied()
+        .fold(h.overflow_fraction(), f64::max)
+        .max(1e-9);
+    for (i, &f) in fractions.iter().enumerate().take(shown) {
+        let lo = i as u64 * h.bucket_width();
+        out.push_str(&format!(
+            "{:>8} {:>6} | {}\n",
+            format!("{lo}{unit}"),
+            pct(f),
+            bar(f / max_frac, 40)
+        ));
+    }
+    out.push_str(&format!(
+        "{:>8} {:>6} | {}\n",
+        format!(">{}{}", shown as u64 * h.bucket_width(), unit),
+        pct(h.overflow_fraction()),
+        bar(h.overflow_fraction() / max_frac, 40)
+    ));
+    out
+}
+
+/// Geometric mean of `1 + x` minus one — the paper's convention for
+/// averaging IPC improvements (safe for mild negatives).
+pub fn geomean_improvement(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| (1.0 + x).max(0.05).ln()).sum();
+    (log_sum / xs.len() as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(pct_opt(None), "n/a");
+        assert_eq!(pct_opt(Some(1.0)), "100.0%");
+    }
+
+    #[test]
+    fn bar_clamps_and_fills() {
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 3), "###");
+        assert_eq!(bar(-1.0, 3), "...");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2"]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.contains("long-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn histogram_chart_renders() {
+        let mut h = Histogram::new(100, 10);
+        h.record(50);
+        h.record(150);
+        h.record(5000);
+        let c = histogram_chart(&h, 3, "c");
+        assert!(c.contains("0c"));
+        assert!(c.contains(">300c"));
+        assert!(c.contains('#'));
+        let empty = Histogram::new(100, 10);
+        assert!(histogram_chart(&empty, 3, "c").contains("no samples"));
+    }
+
+    #[test]
+    fn geomean_of_improvements() {
+        let g = geomean_improvement(&[0.1, 0.1, 0.1]);
+        assert!((g - 0.1).abs() < 1e-9);
+        assert_eq!(geomean_improvement(&[]), 0.0);
+        // Mild negatives are fine.
+        let g2 = geomean_improvement(&[0.2, -0.05]);
+        assert!(g2 > 0.0 && g2 < 0.2);
+    }
+}

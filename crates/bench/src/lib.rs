@@ -1,0 +1,23 @@
+//! # tk-bench — figure and table regeneration harness
+//!
+//! One report generator per table/figure of the paper's evaluation
+//! ([`figures`]), plus the shared experiment plumbing ([`runner`]) and
+//! plain-text rendering ([`fmt`]). Every `src/bin/figNN` binary prints the
+//! corresponding report; pass an instruction budget as the first argument
+//! (default 8,000,000 per run):
+//!
+//! ```text
+//! cargo run --release -p tk-bench --bin fig19            # paper budget
+//! cargo run --release -p tk-bench --bin fig19 -- 2000000 # quick look
+//! ```
+//!
+//! All runs are deterministic: the same budget and seed reproduce a report
+//! bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod fmt;
+pub mod runner;
+
+pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};

@@ -1,0 +1,102 @@
+//! Experiment plumbing shared by all figure binaries.
+
+use timekeeping::MetricsCollector;
+use tk_sim::{run_workload, RunResult, SystemConfig};
+use tk_workloads::SpecBenchmark;
+
+/// Options common to every figure run.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureOpts {
+    /// Instructions simulated per benchmark per configuration.
+    pub instructions: u64,
+    /// Workload seed (figures are bit-reproducible per seed).
+    pub seed: u64,
+}
+
+impl FigureOpts {
+    /// The default figure budget: 8 M instructions per run — enough for
+    /// every workload's footprint to be traversed several times.
+    pub const DEFAULT_INSTRUCTIONS: u64 = 8_000_000;
+
+    /// Creates options with the default budget.
+    pub fn new() -> Self {
+        FigureOpts {
+            instructions: Self::DEFAULT_INSTRUCTIONS,
+            seed: 1,
+        }
+    }
+
+    /// Parses `[instructions]` from the process arguments, e.g.
+    /// `fig01 2000000`, falling back to the default.
+    pub fn from_args() -> Self {
+        let mut opts = Self::new();
+        if let Some(n) = std::env::args().nth(1).and_then(|a| a.parse::<u64>().ok()) {
+            opts.instructions = n;
+        }
+        opts
+    }
+
+    /// A reduced budget for smoke tests.
+    pub fn quick() -> Self {
+        FigureOpts {
+            instructions: 300_000,
+            seed: 1,
+        }
+    }
+}
+
+impl Default for FigureOpts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs one benchmark under one configuration.
+pub fn run_bench(bench: SpecBenchmark, cfg: SystemConfig, opts: FigureOpts) -> RunResult {
+    let mut w = bench.build(opts.seed);
+    run_workload(&mut w, cfg, opts.instructions)
+}
+
+/// Runs every benchmark under `cfg`, returning per-benchmark results in
+/// suite order.
+pub fn run_suite(cfg: SystemConfig, opts: FigureOpts) -> Vec<(SpecBenchmark, RunResult)> {
+    SpecBenchmark::ALL
+        .iter()
+        .map(|&b| (b, run_bench(b, cfg, opts)))
+        .collect()
+}
+
+/// Runs the base machine on every benchmark and merges the timekeeping
+/// metrics into one suite-wide collector (the "all SPEC2000" aggregate of
+/// Figures 4, 5, 7–10 and 14).
+pub fn suite_metrics(opts: FigureOpts) -> (Vec<(SpecBenchmark, RunResult)>, MetricsCollector) {
+    let results = run_suite(SystemConfig::base(), opts);
+    let mut merged = MetricsCollector::new();
+    for (_, r) in &results {
+        merged.merge(&r.metrics);
+    }
+    (results, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk_sim::SystemConfig;
+
+    #[test]
+    fn opts_default_and_quick() {
+        assert_eq!(FigureOpts::new().instructions, 8_000_000);
+        assert!(FigureOpts::quick().instructions < 1_000_000);
+    }
+
+    #[test]
+    fn run_bench_produces_result() {
+        let r = run_bench(
+            SpecBenchmark::Gzip,
+            SystemConfig::base(),
+            FigureOpts::quick(),
+        );
+        assert_eq!(r.core.instructions, FigureOpts::quick().instructions);
+        assert!(r.ipc() > 0.0);
+    }
+}

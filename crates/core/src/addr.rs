@@ -1,0 +1,449 @@
+//! Addresses, program counters, and cache geometry arithmetic.
+//!
+//! Every structure in this crate reasons about memory in terms of *cache
+//! lines* within a particular [`CacheGeometry`]. The geometry owns the
+//! tag/index/offset decomposition used throughout the paper: a byte address
+//! is split (from high to low bits) into a *tag*, a *set index*, and a
+//! *block offset*.
+
+use std::fmt;
+
+/// A byte address in the simulated address space.
+///
+/// `Addr` is a transparent wrapper around `u64`; it exists so that byte
+/// addresses, [line addresses](LineAddr) and [program counters](Pc) cannot be
+/// confused with one another.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.get(), 0x1040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address offset by `bytes` (wrapping).
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    #[inline]
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address: a byte address with the block offset stripped.
+///
+/// A `LineAddr` is only meaningful relative to the block size of the
+/// [`CacheGeometry`] that produced it (see [`CacheGeometry::line_of`]).
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::{Addr, CacheGeometry};
+/// let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+/// let line = geom.line_of(Addr::new(0x104f));
+/// assert_eq!(line.get(), 0x1040 / 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for LineAddr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// A program counter attached to a memory reference.
+///
+/// The simulator substrate attaches a synthetic PC to every reference; the
+/// DBCP baseline predictor consumes it to build per-block reference-trace
+/// signatures (the timekeeping predictor deliberately does *not* use PCs —
+/// that is one of the paper's selling points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// Returns the raw program-counter value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Pc {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Pc(raw)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+/// Errors produced when constructing a [`CacheGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A size parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// `size_bytes` is not divisible into at least one set of
+    /// `assoc * block_bytes` bytes.
+    TooSmall {
+        /// Total size requested.
+        size_bytes: u64,
+        /// Minimum size for the given associativity and block size.
+        min_bytes: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo { param, value } => {
+                write!(
+                    f,
+                    "cache geometry parameter `{param}` = {value} is not a nonzero power of two"
+                )
+            }
+            GeometryError::TooSmall {
+                size_bytes,
+                min_bytes,
+            } => {
+                write!(
+                    f,
+                    "cache of {size_bytes} bytes is smaller than one set ({min_bytes} bytes)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The tag/index/offset decomposition of a cache.
+///
+/// All sizes must be powers of two. The decomposition (high to low bits) is
+/// `| tag | set index | block offset |`.
+///
+/// # Examples
+///
+/// The paper's L1 data cache — 32 KB direct-mapped with 32-byte blocks —
+/// has 1024 sets:
+///
+/// ```
+/// use timekeeping::CacheGeometry;
+/// let l1 = CacheGeometry::new(32 * 1024, 1, 32)?;
+/// assert_eq!(l1.num_sets(), 1024);
+/// assert_eq!(l1.num_frames(), 1024);
+/// # Ok::<(), timekeeping::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: u32,
+    block_bytes: u32,
+    block_shift: u32,
+    index_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry for a cache of `size_bytes` total capacity,
+    /// `assoc`-way set associativity and `block_bytes` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is zero or not a power of
+    /// two, or if the total size is smaller than a single set.
+    pub fn new(size_bytes: u64, assoc: u32, block_bytes: u32) -> Result<Self, GeometryError> {
+        fn pow2(param: &'static str, v: u64) -> Result<(), GeometryError> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(GeometryError::NotPowerOfTwo { param, value: v })
+            } else {
+                Ok(())
+            }
+        }
+        pow2("size_bytes", size_bytes)?;
+        pow2("assoc", assoc as u64)?;
+        pow2("block_bytes", block_bytes as u64)?;
+        let set_bytes = assoc as u64 * block_bytes as u64;
+        if size_bytes < set_bytes {
+            return Err(GeometryError::TooSmall {
+                size_bytes,
+                min_bytes: set_bytes,
+            });
+        }
+        let num_sets = size_bytes / set_bytes;
+        Ok(CacheGeometry {
+            size_bytes,
+            assoc,
+            block_bytes,
+            block_shift: block_bytes.trailing_zeros(),
+            index_bits: num_sets.trailing_zeros(),
+        })
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub const fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[inline]
+    pub const fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Block (line) size in bytes.
+    #[inline]
+    pub const fn block_bytes(&self) -> u32 {
+        self.block_bytes
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn num_sets(&self) -> u64 {
+        1u64 << self.index_bits
+    }
+
+    /// Number of bits used for the set index.
+    #[inline]
+    pub const fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Number of bits used for the block offset.
+    #[inline]
+    pub const fn block_shift(&self) -> u32 {
+        self.block_shift
+    }
+
+    /// Total number of block frames (sets × ways).
+    #[inline]
+    pub const fn num_frames(&self) -> u64 {
+        self.num_sets() * self.assoc as u64
+    }
+
+    /// The line address (block number) containing `addr`.
+    #[inline]
+    pub const fn line_of(&self, addr: Addr) -> LineAddr {
+        LineAddr(addr.get() >> self.block_shift)
+    }
+
+    /// The set index for `addr`.
+    #[inline]
+    pub const fn index_of(&self, addr: Addr) -> u64 {
+        (addr.get() >> self.block_shift) & (self.num_sets() - 1)
+    }
+
+    /// The set index for a line address.
+    #[inline]
+    pub const fn index_of_line(&self, line: LineAddr) -> u64 {
+        line.get() & (self.num_sets() - 1)
+    }
+
+    /// The tag for `addr`.
+    #[inline]
+    pub const fn tag_of(&self, addr: Addr) -> u64 {
+        addr.get() >> (self.block_shift + self.index_bits)
+    }
+
+    /// The tag for a line address.
+    #[inline]
+    pub const fn tag_of_line(&self, line: LineAddr) -> u64 {
+        line.get() >> self.index_bits
+    }
+
+    /// Reassembles the line address for a (tag, set index) pair.
+    #[inline]
+    pub const fn line_from_parts(&self, tag: u64, index: u64) -> LineAddr {
+        LineAddr((tag << self.index_bits) | (index & (self.num_sets() - 1)))
+    }
+
+    /// Reassembles the base byte address of the block with the given
+    /// (tag, set index) pair.
+    #[inline]
+    pub const fn addr_from_parts(&self, tag: u64, index: u64) -> Addr {
+        Addr(self.line_from_parts(tag, index).get() << self.block_shift)
+    }
+
+    /// The base byte address of the block containing `line`.
+    #[inline]
+    pub const fn addr_of_line(&self, line: LineAddr) -> Addr {
+        Addr(line.get() << self.block_shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_paper_geometry() {
+        let g = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+        assert_eq!(g.num_sets(), 1024);
+        assert_eq!(g.num_frames(), 1024);
+        assert_eq!(g.index_bits(), 10);
+        assert_eq!(g.block_shift(), 5);
+    }
+
+    #[test]
+    fn l2_paper_geometry() {
+        let g = CacheGeometry::new(1024 * 1024, 4, 64).unwrap();
+        assert_eq!(g.num_sets(), 4096);
+        assert_eq!(g.num_frames(), 16384);
+        assert_eq!(g.block_shift(), 6);
+    }
+
+    #[test]
+    fn decomposition_round_trips() {
+        let g = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+        let a = Addr::new(0xdead_beef);
+        let tag = g.tag_of(a);
+        let idx = g.index_of(a);
+        let line = g.line_of(a);
+        assert_eq!(g.line_from_parts(tag, idx), line);
+        assert_eq!(g.addr_from_parts(tag, idx).get(), a.get() & !(32 - 1));
+        assert_eq!(g.tag_of_line(line), tag);
+        assert_eq!(g.index_of_line(line), idx);
+    }
+
+    #[test]
+    fn same_set_different_tags_conflict() {
+        let g = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+        let a = Addr::new(0x0000_1040);
+        // Adding exactly the cache size keeps the index, changes the tag.
+        let b = a.offset(g.size_bytes());
+        assert_eq!(g.index_of(a), g.index_of(b));
+        assert_ne!(g.tag_of(a), g.tag_of(b));
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let g = CacheGeometry::new(1024, 32, 32).unwrap();
+        assert_eq!(g.num_sets(), 1);
+        assert_eq!(g.index_bits(), 0);
+        assert_eq!(g.index_of(Addr::new(0xffff_ffff)), 0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheGeometry::new(3000, 1, 32),
+            Err(GeometryError::NotPowerOfTwo {
+                param: "size_bytes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 3, 32),
+            Err(GeometryError::NotPowerOfTwo { param: "assoc", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 1, 0),
+            Err(GeometryError::NotPowerOfTwo {
+                param: "block_bytes",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_small() {
+        assert!(matches!(
+            CacheGeometry::new(64, 4, 32),
+            Err(GeometryError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(16).to_string(), "0x10");
+        assert_eq!(LineAddr::new(16).to_string(), "line:0x10");
+        assert_eq!(Pc::new(16).to_string(), "pc:0x10");
+        let err = GeometryError::NotPowerOfTwo {
+            param: "assoc",
+            value: 3,
+        };
+        assert!(err.to_string().contains("assoc"));
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.offset(1).get(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! On-line cold / conflict / capacity miss classification.
+//!
+//! The paper uses Hill's canonical three-way classification (§4): a *cold*
+//! miss is the first reference ever to a line; a *conflict* miss would have
+//! hit in a fully-associative LRU cache of the same total capacity; a
+//! *capacity* miss would miss even there. [`FullyAssocShadow`] maintains
+//! that fully-associative LRU shadow next to the real cache and classifies
+//! every miss exactly — this is the ground truth that the timekeeping
+//! *predictors* of misses are scored against.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::addr::LineAddr;
+
+/// Hill's three-way miss classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// First-ever reference to the line.
+    Cold,
+    /// Would have hit in a fully-associative cache of equal capacity.
+    Conflict,
+    /// Would have missed even in a fully-associative cache.
+    Capacity,
+}
+
+impl MissKind {
+    /// All three kinds, in the paper's reporting order.
+    pub const ALL: [MissKind; 3] = [MissKind::Conflict, MissKind::Cold, MissKind::Capacity];
+
+    /// Stable small index (0 = conflict, 1 = cold, 2 = capacity) for
+    /// array-indexed per-kind statistics.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MissKind::Conflict => 0,
+            MissKind::Cold => 1,
+            MissKind::Capacity => 2,
+        }
+    }
+}
+
+impl fmt::Display for MissKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MissKind::Cold => "cold",
+            MissKind::Conflict => "conflict",
+            MissKind::Capacity => "capacity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-kind miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissBreakdown {
+    /// Number of cold misses.
+    pub cold: u64,
+    /// Number of conflict misses.
+    pub conflict: u64,
+    /// Number of capacity misses.
+    pub capacity: u64,
+}
+
+impl MissBreakdown {
+    /// Total misses.
+    pub fn total(&self) -> u64 {
+        self.cold + self.conflict + self.capacity
+    }
+
+    /// Count for a specific kind.
+    pub fn count(&self, kind: MissKind) -> u64 {
+        match kind {
+            MissKind::Cold => self.cold,
+            MissKind::Conflict => self.conflict,
+            MissKind::Capacity => self.capacity,
+        }
+    }
+
+    /// Records one miss of `kind`.
+    pub fn record(&mut self, kind: MissKind) {
+        match kind {
+            MissKind::Cold => self.cold += 1,
+            MissKind::Conflict => self.conflict += 1,
+            MissKind::Capacity => self.capacity += 1,
+        }
+    }
+
+    /// Fraction of misses of `kind`, or 0 if there are no misses.
+    pub fn fraction(&self, kind: MissKind) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / t as f64
+        }
+    }
+}
+
+impl fmt::Display for MissBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict:{} ({:.1}%) cold:{} ({:.1}%) capacity:{} ({:.1}%)",
+            self.conflict,
+            self.fraction(MissKind::Conflict) * 100.0,
+            self.cold,
+            self.fraction(MissKind::Cold) * 100.0,
+            self.capacity,
+            self.fraction(MissKind::Capacity) * 100.0,
+        )
+    }
+}
+
+/// A fully-associative LRU shadow cache used to classify misses.
+///
+/// The shadow observes *every* access the real cache sees (hits and misses)
+/// so that its LRU state models a fully-associative cache of the same
+/// capacity receiving the same reference stream.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::{FullyAssocShadow, LineAddr, MissKind};
+///
+/// let mut shadow = FullyAssocShadow::new(2); // 2-block toy cache
+/// let (a, b, c) = (LineAddr::new(1), LineAddr::new(2), LineAddr::new(3));
+/// assert_eq!(shadow.classify_miss(a), MissKind::Cold);
+/// assert_eq!(shadow.classify_miss(b), MissKind::Cold);
+/// // `a` is still in the 2-entry fully-associative cache: if the real
+/// // cache missed on it, that miss is a conflict.
+/// assert_eq!(shadow.classify_miss(a), MissKind::Conflict);
+/// // `c` evicts `b` (LRU); a re-reference to `b` is then a capacity miss.
+/// assert_eq!(shadow.classify_miss(c), MissKind::Cold);
+/// assert_eq!(shadow.classify_miss(b), MissKind::Capacity);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyAssocShadow {
+    capacity: usize,
+    stamp: u64,
+    by_line: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+    seen: HashSet<u64>,
+    breakdown: MissBreakdown,
+}
+
+impl FullyAssocShadow {
+    /// Creates a shadow with room for `capacity_blocks` lines.
+    ///
+    /// For the paper's L1 (32 KB / 32 B blocks) this is 1024.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero.
+    pub fn new(capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "shadow capacity must be nonzero");
+        FullyAssocShadow {
+            capacity: capacity_blocks,
+            stamp: 0,
+            by_line: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            seen: HashSet::new(),
+            breakdown: MissBreakdown::default(),
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lines currently resident in the shadow.
+    pub fn len(&self) -> usize {
+        self.by_line.len()
+    }
+
+    /// True if the shadow holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+
+    /// Whether `line` is currently resident in the shadow.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.by_line.contains_key(&line.get())
+    }
+
+    /// Accumulated classification counts.
+    pub fn breakdown(&self) -> MissBreakdown {
+        self.breakdown
+    }
+
+    /// Observes an access that *hit* in the real cache (updates recency
+    /// only).
+    pub fn on_access(&mut self, line: LineAddr) {
+        self.touch(line);
+    }
+
+    /// Classifies a miss in the real cache, then observes the access.
+    pub fn classify_miss(&mut self, line: LineAddr) -> MissKind {
+        let kind = if !self.seen.contains(&line.get()) {
+            MissKind::Cold
+        } else if self.contains(line) {
+            MissKind::Conflict
+        } else {
+            MissKind::Capacity
+        };
+        self.breakdown.record(kind);
+        self.touch(line);
+        kind
+    }
+
+    fn touch(&mut self, line: LineAddr) {
+        let raw = line.get();
+        self.seen.insert(raw);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(old) = self.by_line.insert(raw, stamp) {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(stamp, raw);
+        if self.by_line.len() > self.capacity {
+            // Evict strict LRU.
+            let (&oldest, &victim) = self.by_stamp.iter().next().expect("nonempty");
+            self.by_stamp.remove(&oldest);
+            self.by_line.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn first_touch_is_cold() {
+        let mut s = FullyAssocShadow::new(4);
+        assert_eq!(s.classify_miss(line(1)), MissKind::Cold);
+        assert_eq!(s.breakdown().cold, 1);
+    }
+
+    #[test]
+    fn resident_line_miss_is_conflict() {
+        let mut s = FullyAssocShadow::new(4);
+        s.classify_miss(line(1));
+        // Line 1 still resident in shadow; real cache missed again -> conflict.
+        assert_eq!(s.classify_miss(line(1)), MissKind::Conflict);
+    }
+
+    #[test]
+    fn capacity_requires_eviction_by_distinct_lines() {
+        let mut s = FullyAssocShadow::new(2);
+        s.classify_miss(line(1));
+        s.classify_miss(line(2));
+        s.classify_miss(line(3)); // evicts 1 (LRU)
+        assert!(!s.contains(line(1)));
+        assert_eq!(s.classify_miss(line(1)), MissKind::Capacity);
+    }
+
+    #[test]
+    fn hits_refresh_lru_order() {
+        let mut s = FullyAssocShadow::new(2);
+        s.classify_miss(line(1));
+        s.classify_miss(line(2));
+        s.on_access(line(1)); // 1 becomes MRU; 2 is now LRU
+        s.classify_miss(line(3)); // evicts 2
+        assert!(s.contains(line(1)));
+        assert!(!s.contains(line(2)));
+        assert_eq!(s.classify_miss(line(2)), MissKind::Capacity);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn exactly_capacity_unique_lines_needed() {
+        // For a shadow of N blocks, a line is only driven out after N other
+        // unique accesses — the property the paper uses to explain why
+        // capacity misses have reload intervals >= ~1024 accesses (§4.1).
+        let n = 16;
+        let mut s = FullyAssocShadow::new(n);
+        s.classify_miss(line(1000));
+        for i in 0..n as u64 - 1 {
+            s.classify_miss(line(i));
+        }
+        assert!(s.contains(line(1000)), "n-1 unique lines must not evict");
+        s.classify_miss(line(999));
+        assert!(!s.contains(line(1000)), "n unique lines must evict");
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let mut s = FullyAssocShadow::new(2);
+        s.classify_miss(line(1)); // cold
+        s.classify_miss(line(1)); // conflict
+        s.classify_miss(line(2)); // cold
+        s.classify_miss(line(3)); // cold, evicts 1
+        s.classify_miss(line(1)); // capacity
+        let b = s.breakdown();
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.cold, 3);
+        assert_eq!(b.conflict, 1);
+        assert_eq!(b.capacity, 1);
+        assert!((b.fraction(MissKind::Cold) - 0.6).abs() < 1e-9);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn miss_kind_indices_are_distinct() {
+        let mut seen = [false; 3];
+        for k in MissKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = FullyAssocShadow::new(0);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        assert_eq!(MissBreakdown::default().fraction(MissKind::Cold), 0.0);
+    }
+}

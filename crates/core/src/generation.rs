@@ -1,0 +1,411 @@
+//! Generational behavior of cache lines (§3 of the paper).
+//!
+//! Each cache-frame *generation* begins with the miss that fills the frame
+//! and ends when the block is evicted. The generation splits into a *live
+//! time* (fill → last successful hit) followed by a *dead time* (last hit →
+//! eviction). Two further metrics relate successive events: the *access
+//! interval* (time between successive uses within the live time) and the
+//! *reload interval* (time between the starts of two successive generations
+//! of the same memory line).
+//!
+//! ```text
+//!  Load A                                   Evict A          Reload A
+//!    |  a.i. |  a.i.  |                        |                |
+//!    A       A        A ..(last hit)           B  ...           A
+//!    |---------- live time ---------|-- dead --|
+//!    |------------------ reload interval ----------------------|
+//! ```
+//!
+//! [`GenerationTracker`] performs this bookkeeping for every frame of a
+//! cache and for the per-line history (previous generation start, live and
+//! dead time) that the paper's conflict-miss predictors consume.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+use crate::time::Cycle;
+
+/// Why a generation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictCause {
+    /// Evicted by a demand miss bringing in another block.
+    Demand,
+    /// Evicted by a prefetch fill.
+    Prefetch,
+    /// Evicted by external invalidation or end-of-simulation flush.
+    Flush,
+}
+
+/// A completed cache-line generation and its timekeeping metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationRecord {
+    /// The memory line that was resident.
+    pub line: LineAddr,
+    /// The cache frame it occupied.
+    pub frame: usize,
+    /// Fill time (generation start).
+    pub start: Cycle,
+    /// Eviction time (generation end).
+    pub end: Cycle,
+    /// Cycles from fill to last successful use (0 if the block was never
+    /// hit after the fill).
+    pub live_time: u64,
+    /// Cycles from last successful use to eviction.
+    pub dead_time: u64,
+    /// Number of uses, counting the filling access.
+    pub accesses: u32,
+    /// Largest gap between successive uses within the live time.
+    pub max_access_interval: u64,
+    /// Time since the start of the *previous* generation of the same line,
+    /// if one was observed.
+    pub reload_interval: Option<u64>,
+    /// Live time of the previous generation of the same line, if observed.
+    pub prev_live_time: Option<u64>,
+    /// Why the generation ended.
+    pub cause: EvictCause,
+}
+
+impl GenerationRecord {
+    /// Total generation time (live + dead).
+    #[inline]
+    pub fn generation_time(&self) -> u64 {
+        self.live_time + self.dead_time
+    }
+
+    /// True if the block was never successfully reused after its fill —
+    /// the "zero live time" special case the paper uses as a one-bit
+    /// conflict-miss predictor (§4.1).
+    #[inline]
+    pub fn zero_live_time(&self) -> bool {
+        self.live_time == 0
+    }
+}
+
+/// Per-line summary of the most recently *completed* generation.
+///
+/// The paper correlates a miss with "the timekeeping metrics of the last
+/// generation of the cache line that suffers the miss" (§4); this is exactly
+/// the state needed at miss time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineHistory {
+    /// Start time of the line's most recent generation (completed or open).
+    pub last_start: Cycle,
+    /// Live time of the most recently completed generation.
+    pub last_live_time: u64,
+    /// Dead time of the most recently completed generation.
+    pub last_dead_time: u64,
+    /// Whether at least one generation of this line has completed.
+    pub completed: bool,
+}
+
+/// Open state of one cache frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpenGeneration {
+    line: LineAddr,
+    start: Cycle,
+    last_use: Cycle,
+    accesses: u32,
+    max_access_interval: u64,
+    reload_interval: Option<u64>,
+    prev_live_time: Option<u64>,
+}
+
+/// Tracks generations for every frame of one cache plus per-line history.
+///
+/// Drive it with [`fill`](GenerationTracker::fill),
+/// [`hit`](GenerationTracker::hit) and [`evict`](GenerationTracker::evict)
+/// from the owning cache model. All methods take the current cycle.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::{Cycle, EvictCause, GenerationTracker, LineAddr};
+///
+/// let mut t = GenerationTracker::new(4);
+/// let line = LineAddr::new(7);
+/// t.fill(0, line, Cycle::new(100));
+/// t.hit(0, Cycle::new(150));
+/// t.hit(0, Cycle::new(220));
+/// let rec = t.evict(0, Cycle::new(1000), EvictCause::Demand).unwrap();
+/// assert_eq!(rec.live_time, 120); // 100 -> 220
+/// assert_eq!(rec.dead_time, 780); // 220 -> 1000
+/// assert_eq!(rec.accesses, 3);
+/// assert_eq!(rec.max_access_interval, 70);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenerationTracker {
+    frames: Vec<Option<OpenGeneration>>,
+    lines: HashMap<u64, LineHistory>,
+}
+
+impl GenerationTracker {
+    /// Creates a tracker for a cache with `num_frames` block frames.
+    pub fn new(num_frames: usize) -> Self {
+        GenerationTracker {
+            frames: vec![None; num_frames],
+            lines: HashMap::new(),
+        }
+    }
+
+    /// Number of frames tracked.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Begins a generation: `line` fills `frame` at time `now`.
+    ///
+    /// Returns the reload interval (time since the previous generation of
+    /// the same line began), if this line has been resident before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame still holds an open generation (callers must
+    /// [`evict`](Self::evict) first) or if `frame` is out of range.
+    pub fn fill(&mut self, frame: usize, line: LineAddr, now: Cycle) -> Option<u64> {
+        assert!(
+            self.frames[frame].is_none(),
+            "fill into occupied frame {frame}"
+        );
+        let (reload_interval, prev_live_time) = match self.lines.get_mut(&line.get()) {
+            Some(h) => {
+                let ri = now.since(h.last_start);
+                let plt = h.completed.then_some(h.last_live_time);
+                h.last_start = now;
+                (Some(ri), plt)
+            }
+            None => {
+                self.lines.insert(
+                    line.get(),
+                    LineHistory {
+                        last_start: now,
+                        last_live_time: 0,
+                        last_dead_time: 0,
+                        completed: false,
+                    },
+                );
+                (None, None)
+            }
+        };
+        self.frames[frame] = Some(OpenGeneration {
+            line,
+            start: now,
+            last_use: now,
+            accesses: 1,
+            max_access_interval: 0,
+            reload_interval,
+            prev_live_time,
+        });
+        reload_interval
+    }
+
+    /// Records a successful use (hit) of the block in `frame` at `now`.
+    ///
+    /// Returns the access interval since the previous use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has no open generation.
+    pub fn hit(&mut self, frame: usize, now: Cycle) -> u64 {
+        let g = self.frames[frame].as_mut().expect("hit on empty frame");
+        let interval = now.since(g.last_use);
+        g.last_use = now;
+        g.accesses += 1;
+        g.max_access_interval = g.max_access_interval.max(interval);
+        interval
+    }
+
+    /// Ends the generation in `frame` at `now`, returning its record.
+    ///
+    /// Returns `None` if the frame holds no open generation (e.g. a cold
+    /// frame being filled for the first time).
+    pub fn evict(
+        &mut self,
+        frame: usize,
+        now: Cycle,
+        cause: EvictCause,
+    ) -> Option<GenerationRecord> {
+        let g = self.frames[frame].take()?;
+        let live_time = g.last_use.since(g.start);
+        let dead_time = now.since(g.last_use);
+        let rec = GenerationRecord {
+            line: g.line,
+            frame,
+            start: g.start,
+            end: now,
+            live_time,
+            dead_time,
+            accesses: g.accesses,
+            max_access_interval: g.max_access_interval,
+            reload_interval: g.reload_interval,
+            prev_live_time: g.prev_live_time,
+            cause,
+        };
+        let h = self
+            .lines
+            .get_mut(&g.line.get())
+            .expect("open generation must have line history");
+        h.last_live_time = live_time;
+        h.last_dead_time = dead_time;
+        h.completed = true;
+        Some(rec)
+    }
+
+    /// The line currently resident in `frame`, if any.
+    pub fn resident(&self, frame: usize) -> Option<LineAddr> {
+        self.frames[frame].map(|g| g.line)
+    }
+
+    /// Time of the last use of the block in `frame`, if the frame is live.
+    ///
+    /// `now - last_use(frame)` is the *idle time* that the decay-style
+    /// dead-block predictor thresholds (§5.1.1).
+    pub fn last_use(&self, frame: usize) -> Option<Cycle> {
+        self.frames[frame].map(|g| g.last_use)
+    }
+
+    /// Start time of the open generation in `frame`, if any.
+    pub fn generation_start(&self, frame: usize) -> Option<Cycle> {
+        self.frames[frame].map(|g| g.start)
+    }
+
+    /// History of the most recent completed generation for `line`.
+    ///
+    /// This is what a miss to `line` consults: its previous generation's
+    /// live time, dead time, and (via `last_start`) reload interval.
+    pub fn line_history(&self, line: LineAddr) -> Option<&LineHistory> {
+        self.lines.get(&line.get())
+    }
+
+    /// Number of distinct lines ever observed.
+    pub fn lines_seen(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Closes every open generation at `now` with [`EvictCause::Flush`],
+    /// returning the records. Used at end of simulation.
+    pub fn flush(&mut self, now: Cycle) -> Vec<GenerationRecord> {
+        (0..self.frames.len())
+            .filter_map(|f| self.evict(f, now, EvictCause::Flush))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn zero_live_time_generation() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(1), Cycle::new(10));
+        let rec = t.evict(0, Cycle::new(500), EvictCause::Demand).unwrap();
+        assert!(rec.zero_live_time());
+        assert_eq!(rec.live_time, 0);
+        assert_eq!(rec.dead_time, 490);
+        assert_eq!(rec.generation_time(), 490);
+        assert_eq!(rec.accesses, 1);
+    }
+
+    #[test]
+    fn reload_interval_spans_generations() {
+        let mut t = GenerationTracker::new(2);
+        // Gen 1 of line 5 in frame 0 starting at cycle 100.
+        assert_eq!(t.fill(0, line(5), Cycle::new(100)), None);
+        t.evict(0, Cycle::new(300), EvictCause::Demand);
+        // Line 5 returns (possibly in a different frame) at cycle 900.
+        assert_eq!(t.fill(1, line(5), Cycle::new(900)), Some(800));
+        let rec = t.evict(1, Cycle::new(1000), EvictCause::Demand).unwrap();
+        assert_eq!(rec.reload_interval, Some(800));
+        assert_eq!(rec.prev_live_time, Some(0));
+    }
+
+    #[test]
+    fn prev_live_time_threading() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(9), Cycle::new(0));
+        t.hit(0, Cycle::new(40));
+        t.evict(0, Cycle::new(100), EvictCause::Demand); // live 40
+        t.fill(0, line(9), Cycle::new(200));
+        t.hit(0, Cycle::new(260));
+        let rec = t.evict(0, Cycle::new(400), EvictCause::Demand).unwrap();
+        assert_eq!(rec.prev_live_time, Some(40));
+        assert_eq!(rec.live_time, 60);
+        let h = t.line_history(line(9)).unwrap();
+        assert_eq!(h.last_live_time, 60);
+        assert_eq!(h.last_dead_time, 140);
+        assert!(h.completed);
+    }
+
+    #[test]
+    fn max_access_interval_tracks_largest_gap() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(1), Cycle::new(0));
+        assert_eq!(t.hit(0, Cycle::new(10)), 10);
+        assert_eq!(t.hit(0, Cycle::new(250)), 240);
+        assert_eq!(t.hit(0, Cycle::new(260)), 10);
+        let rec = t.evict(0, Cycle::new(300), EvictCause::Demand).unwrap();
+        assert_eq!(rec.max_access_interval, 240);
+        assert_eq!(rec.accesses, 4);
+    }
+
+    #[test]
+    fn idle_time_query() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(1), Cycle::new(0));
+        t.hit(0, Cycle::new(100));
+        assert_eq!(t.last_use(0), Some(Cycle::new(100)));
+        assert_eq!(t.generation_start(0), Some(Cycle::new(0)));
+        assert_eq!(t.resident(0), Some(line(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn fill_occupied_frame_panics() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(1), Cycle::new(0));
+        t.fill(0, line(2), Cycle::new(1));
+    }
+
+    #[test]
+    fn evict_empty_frame_is_none() {
+        let mut t = GenerationTracker::new(1);
+        assert!(t.evict(0, Cycle::new(5), EvictCause::Demand).is_none());
+    }
+
+    #[test]
+    fn flush_closes_everything() {
+        let mut t = GenerationTracker::new(3);
+        t.fill(0, line(1), Cycle::new(0));
+        t.fill(2, line(2), Cycle::new(10));
+        let recs = t.flush(Cycle::new(100));
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.cause == EvictCause::Flush));
+        assert!(t.resident(0).is_none());
+        assert_eq!(t.lines_seen(), 2);
+    }
+
+    #[test]
+    fn prefetch_evictions_are_distinguished() {
+        let mut t = GenerationTracker::new(1);
+        t.fill(0, line(1), Cycle::new(0));
+        let rec = t.evict(0, Cycle::new(50), EvictCause::Prefetch).unwrap();
+        assert_eq!(rec.cause, EvictCause::Prefetch);
+    }
+
+    #[test]
+    fn same_line_in_two_frames_uses_latest_start() {
+        // A line can re-enter while... actually not simultaneously in one
+        // cache, but successive fills must always measure reload interval
+        // from the most recent start.
+        let mut t = GenerationTracker::new(2);
+        t.fill(0, line(3), Cycle::new(0));
+        t.evict(0, Cycle::new(10), EvictCause::Demand);
+        t.fill(0, line(3), Cycle::new(100));
+        t.evict(0, Cycle::new(110), EvictCause::Demand);
+        assert_eq!(t.fill(1, line(3), Cycle::new(400)), Some(300));
+    }
+}

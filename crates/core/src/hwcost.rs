@@ -1,0 +1,289 @@
+//! Hardware storage accounting for every mechanism in the paper.
+//!
+//! The paper's pitch is economy: "only few, small counters per cache line"
+//! (§6), an 8 KB table that beats a 2 MB one. This module computes the
+//! storage each mechanism actually requires, bit by bit, so the size
+//! claims in reports are derived rather than asserted.
+//!
+//! Address-field widths are computed for a 44-bit physical address space
+//! (Alpha 21264-class, matching the simulated machine's era).
+
+use std::fmt;
+
+use crate::addr::CacheGeometry;
+use crate::correlation::CorrelationConfig;
+use crate::dbcp::DbcpConfig;
+use crate::markov::MarkovConfig;
+use crate::stride::StrideConfig;
+
+/// Physical address bits assumed for tag-width computations.
+pub const PHYSICAL_ADDR_BITS: u32 = 44;
+
+/// A storage budget in bits, with a human-readable breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageBudget {
+    name: &'static str,
+    items: Vec<(String, u64)>,
+}
+
+impl StorageBudget {
+    fn new(name: &'static str) -> Self {
+        StorageBudget {
+            name,
+            items: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, what: impl Into<String>, bits: u64) -> &mut Self {
+        self.items.push((what.into(), bits));
+        self
+    }
+
+    /// Mechanism name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total bits.
+    pub fn bits(&self) -> u64 {
+        self.items.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total size in bytes (rounded up).
+    pub fn bytes(&self) -> u64 {
+        self.bits().div_ceil(8)
+    }
+
+    /// Total size in kibibytes, fractional.
+    pub fn kib(&self) -> f64 {
+        self.bytes() as f64 / 1024.0
+    }
+
+    /// The itemized breakdown.
+    pub fn items(&self) -> &[(String, u64)] {
+        &self.items
+    }
+}
+
+impl fmt::Display for StorageBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1} KiB ({} bits)",
+            self.name,
+            self.kib(),
+            self.bits()
+        )?;
+        for (what, bits) in &self.items {
+            writeln!(f, "  {what}: {bits} bits")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tag width for a cache geometry under the assumed address space.
+pub fn tag_bits(geom: &CacheGeometry) -> u32 {
+    PHYSICAL_ADDR_BITS - geom.index_bits() - geom.block_shift()
+}
+
+/// Line-address width (block number) under the assumed address space.
+pub fn line_bits(geom: &CacheGeometry) -> u32 {
+    PHYSICAL_ADDR_BITS - geom.block_shift()
+}
+
+/// The §4.2 victim-filter hardware: one 2-bit dead-time counter per L1
+/// line (the global tick counter is shared chip infrastructure).
+pub fn dead_time_filter(l1: &CacheGeometry) -> StorageBudget {
+    let mut b = StorageBudget::new("dead-time victim filter");
+    b.add(
+        format!("2-bit counters x {} lines", l1.num_frames()),
+        2 * l1.num_frames(),
+    );
+    b
+}
+
+/// The Collins-style filter: one extra tag per L1 line ("remembering what
+/// was there before") plus a conflict bit.
+pub fn collins_filter(l1: &CacheGeometry) -> StorageBudget {
+    let mut b = StorageBudget::new("collins filter");
+    let t = tag_bits(l1) as u64;
+    b.add(
+        format!("previous-victim tags x {} lines", l1.num_frames()),
+        t * l1.num_frames(),
+    );
+    b.add(
+        format!("conflict bits x {} lines", l1.num_frames()),
+        l1.num_frames(),
+    );
+    b
+}
+
+/// The victim cache itself: data blocks + tags + valid/LRU state.
+pub fn victim_cache(l1: &CacheGeometry, entries: u64) -> StorageBudget {
+    let mut b = StorageBudget::new("victim cache");
+    b.add(
+        format!("{entries} x {} B data", l1.block_bytes()),
+        entries * l1.block_bytes() as u64 * 8,
+    );
+    b.add(
+        format!("{entries} x line tags"),
+        entries * line_bits(l1) as u64,
+    );
+    b.add("valid + LRU state", entries * 7);
+    b
+}
+
+/// The §5.2.2 per-line prefetch registers: two 5-bit counters, a 5-bit
+/// register and two tag fields per L1 line.
+pub fn tk_per_line_registers(l1: &CacheGeometry) -> StorageBudget {
+    let mut b = StorageBudget::new("timekeeping per-line registers");
+    let n = l1.num_frames();
+    let t = tag_bits(l1) as u64;
+    b.add(format!("gt counters (5b) x {n}"), 5 * n);
+    b.add(format!("lt registers (5b) x {n}"), 5 * n);
+    b.add(format!("prefetch counters (6b) x {n}"), 6 * n);
+    b.add(format!("prev tags x {n}"), t * n);
+    b.add(format!("next tags x {n}"), t * n);
+    b
+}
+
+/// The timekeeping correlation table: per entry an identification tag, a
+/// next tag and a 5-bit live time (tags truncated to 12 bits as the
+/// constructive-aliasing design intends).
+pub fn correlation_table(cfg: &CorrelationConfig) -> StorageBudget {
+    let mut b = StorageBudget::new("correlation table");
+    let entries = cfg.num_entries() as u64;
+    b.add(format!("id tags (12b) x {entries}"), 12 * entries);
+    b.add(format!("next tags (12b) x {entries}"), 12 * entries);
+    b.add(format!("live times (5b) x {entries}"), 5 * entries);
+    b.add("valid + LRU", entries * 4);
+    b
+}
+
+/// The DBCP history table: signature key, next line address, confidence.
+pub fn dbcp_table(cfg: &DbcpConfig, l1: &CacheGeometry) -> StorageBudget {
+    let mut b = StorageBudget::new("DBCP table");
+    let entries = cfg.num_entries() as u64;
+    b.add(format!("signature keys (22b) x {entries}"), 22 * entries);
+    b.add(
+        format!("next lines x {entries}"),
+        line_bits(l1) as u64 * entries,
+    );
+    b.add(format!("confidence (2b) x {entries}"), 2 * entries);
+    b.add("valid + LRU", entries * 4);
+    b
+}
+
+/// The Markov transition table: line key plus successor slots.
+pub fn markov_table(cfg: &MarkovConfig, l1: &CacheGeometry) -> StorageBudget {
+    let mut b = StorageBudget::new("markov table");
+    let entries = cfg.num_entries() as u64;
+    let lb = line_bits(l1) as u64;
+    b.add(format!("line keys x {entries}"), lb * entries);
+    b.add(
+        format!("{} successor slots x {entries}", cfg.successors),
+        (lb + 3) * cfg.successors as u64 * entries,
+    );
+    b.add("valid + LRU", entries * 4);
+    b
+}
+
+/// The stride reference-prediction table.
+pub fn stride_table(cfg: &StrideConfig) -> StorageBudget {
+    let mut b = StorageBudget::new("stride RPT");
+    let entries = cfg.num_entries() as u64;
+    b.add(format!("PC tags (20b) x {entries}"), 20 * entries);
+    b.add(
+        format!("last addresses x {entries}"),
+        PHYSICAL_ADDR_BITS as u64 * entries,
+    );
+    b.add(format!("strides (16b) x {entries}"), 16 * entries);
+    b.add("state (2b) + valid", entries * 3);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(32 * 1024, 1, 32).unwrap()
+    }
+
+    #[test]
+    fn dead_time_filter_is_tiny() {
+        let b = dead_time_filter(&l1());
+        assert_eq!(b.bits(), 2048, "2 bits x 1024 lines");
+        assert!(b.kib() < 0.3);
+    }
+
+    #[test]
+    fn collins_costs_a_tag_per_line() {
+        let b = collins_filter(&l1());
+        // 29-bit tags (44 - 10 - 5) + 1 conflict bit per line.
+        assert_eq!(b.bits(), (29 + 1) * 1024);
+        // An order of magnitude more than the dead-time counters.
+        assert!(b.bits() > 10 * dead_time_filter(&l1()).bits());
+    }
+
+    #[test]
+    fn correlation_table_is_8kb_class() {
+        let b = correlation_table(&CorrelationConfig::PAPER_8KB);
+        assert!(
+            (6.0..10.0).contains(&b.kib()),
+            "paper's table must be ~8 KiB, got {:.1}",
+            b.kib()
+        );
+    }
+
+    #[test]
+    fn dbcp_is_orders_of_magnitude_larger() {
+        let tk = correlation_table(&CorrelationConfig::PAPER_8KB);
+        let dbcp = dbcp_table(&DbcpConfig::PAPER_2MB, &l1());
+        let ratio = dbcp.bits() as f64 / tk.bits() as f64;
+        assert!(
+            ratio > 100.0,
+            "the paper's 'orders of magnitude smaller' claim: ratio {ratio:.0}"
+        );
+        assert!(
+            (1500.0..2600.0).contains(&dbcp.kib()),
+            "{:.0} KiB",
+            dbcp.kib()
+        );
+    }
+
+    #[test]
+    fn per_line_registers_dominated_by_tags() {
+        let b = tk_per_line_registers(&l1());
+        let tag_part: u64 = b
+            .items()
+            .iter()
+            .filter(|(w, _)| w.contains("tags"))
+            .map(|(_, bits)| bits)
+            .sum();
+        assert!(tag_part * 2 > b.bits(), "tags are the expensive part");
+    }
+
+    #[test]
+    fn victim_cache_data_dominates() {
+        let b = victim_cache(&l1(), 32);
+        assert!(b.bits() > 32 * 32 * 8);
+        assert!(b.kib() < 2.0);
+    }
+
+    #[test]
+    fn display_lists_items() {
+        let b = dead_time_filter(&l1());
+        let text = b.to_string();
+        assert!(text.contains("dead-time victim filter"));
+        assert!(text.contains("2-bit counters"));
+    }
+
+    #[test]
+    fn markov_and_stride_budgets_sane() {
+        let mk = markov_table(&MarkovConfig::LARGE_1MB, &l1());
+        assert!(mk.kib() > 1000.0, "1 MB-class table: {:.0} KiB", mk.kib());
+        let st = stride_table(&StrideConfig::CLASSIC);
+        assert!(st.kib() < 4.0, "RPT is small: {:.1} KiB", st.kib());
+    }
+}

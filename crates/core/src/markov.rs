@@ -1,0 +1,310 @@
+//! Markov address-correlation prefetcher baseline, after Joseph & Grunwald
+//! (ISCA 1997) — prior work the paper positions itself against (§1):
+//! "they use a time-independent Markov model; it tracks the sequence of
+//! accesses but not the time durations between them."
+//!
+//! The predictor observes the *global* L1 miss-address stream and learns,
+//! for each miss address, the distribution of next miss addresses. On a
+//! miss it prefetches the most likely successors. It is time-independent
+//! in exactly the sense the paper criticizes: it knows *what* tends to
+//! follow, never *when* — so its prefetches issue immediately and rely on
+//! queue depth for timeliness.
+
+use crate::addr::LineAddr;
+
+/// Geometry of the Markov transition table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// log2 of the number of table sets.
+    pub set_bits: u32,
+    /// Ways per set (distinct miss addresses tracked per set).
+    pub ways: u32,
+    /// Successor slots per entry (the Markov fan-out).
+    pub successors: u32,
+    /// How many of the top successors to prefetch per miss.
+    pub degree: u32,
+}
+
+impl MarkovConfig {
+    /// A 1 MB-class table: 64 K entries × ~16 bytes (4 successor slots).
+    pub const LARGE_1MB: MarkovConfig = MarkovConfig {
+        set_bits: 14,
+        ways: 4,
+        successors: 4,
+        degree: 2,
+    };
+
+    /// An 8 KB-class table for size-parity comparisons with the
+    /// timekeeping correlation table.
+    pub const SMALL_8KB: MarkovConfig = MarkovConfig {
+        set_bits: 7,
+        ways: 4,
+        successors: 4,
+        degree: 2,
+    };
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> usize {
+        1usize << self.set_bits
+    }
+
+    /// Total entries.
+    pub const fn num_entries(&self) -> usize {
+        self.num_sets() * self.ways as usize
+    }
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        Self::LARGE_1MB
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    valid: bool,
+    line: u64,
+    lru: u64,
+    /// Successor candidates ordered most-recently-confirmed first, with a
+    /// small saturating weight each.
+    successors: Vec<(u64, u8)>,
+}
+
+/// Markov prefetcher statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarkovStats {
+    /// Misses observed (transitions recorded).
+    pub observed: u64,
+    /// Lookups that found an entry for the missing line.
+    pub hits: u64,
+    /// Prefetch suggestions produced.
+    pub suggestions: u64,
+}
+
+/// The Markov miss-correlation predictor.
+///
+/// Drive it with [`on_miss`](Markov::on_miss) for every L1 demand miss; it
+/// returns up to `degree` prefetch suggestions.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::{LineAddr, Markov, MarkovConfig};
+/// let mut m = Markov::new(MarkovConfig::SMALL_8KB);
+/// let (a, b) = (LineAddr::new(10), LineAddr::new(20));
+/// m.on_miss(a);
+/// m.on_miss(b); // learns a -> b
+/// // Next time `a` misses, `b` is suggested.
+/// let suggestions = m.on_miss(a);
+/// assert!(suggestions.contains(&b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Markov {
+    cfg: MarkovConfig,
+    table: Vec<Entry>,
+    prev_miss: Option<u64>,
+    stamp: u64,
+    stats: MarkovStats,
+}
+
+impl Markov {
+    /// Creates an empty predictor.
+    pub fn new(cfg: MarkovConfig) -> Self {
+        Markov {
+            cfg,
+            table: vec![
+                Entry {
+                    valid: false,
+                    line: 0,
+                    lru: 0,
+                    successors: Vec::new()
+                };
+                cfg.num_entries()
+            ],
+            prev_miss: None,
+            stamp: 0,
+            stats: MarkovStats::default(),
+        }
+    }
+
+    /// The table geometry.
+    pub fn config(&self) -> MarkovConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MarkovStats {
+        self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        let h = line ^ (line >> 17) ^ (line >> 31);
+        (h as usize) & (self.cfg.num_sets() - 1)
+    }
+
+    fn entry_mut(&mut self, line: u64, allocate: bool) -> Option<usize> {
+        let set = self.set_of(line);
+        let w = self.cfg.ways as usize;
+        let base = set * w;
+        for i in base..base + w {
+            if self.table[i].valid && self.table[i].line == line {
+                return Some(i);
+            }
+        }
+        if !allocate {
+            return None;
+        }
+        let victim = (base..base + w)
+            .min_by_key(|&i| (self.table[i].valid, self.table[i].lru))
+            .expect("nonempty set");
+        self.table[victim] = Entry {
+            valid: true,
+            line,
+            lru: 0,
+            successors: Vec::new(),
+        };
+        Some(victim)
+    }
+
+    /// Observes a demand miss to `line`: records the transition from the
+    /// previous miss and returns the top successors of `line` to prefetch.
+    pub fn on_miss(&mut self, line: LineAddr) -> Vec<LineAddr> {
+        self.stats.observed += 1;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let raw = line.get();
+
+        // Record prev -> line.
+        if let Some(prev) = self.prev_miss {
+            let max_succ = self.cfg.successors as usize;
+            let idx = self.entry_mut(prev, true).expect("allocated");
+            let e = &mut self.table[idx];
+            e.lru = stamp;
+            if let Some(pos) = e.successors.iter().position(|&(l, _)| l == raw) {
+                let (l, w) = e.successors.remove(pos);
+                e.successors.insert(0, (l, w.saturating_add(1)));
+            } else {
+                e.successors.insert(0, (raw, 1));
+                e.successors.truncate(max_succ);
+            }
+        }
+        self.prev_miss = Some(raw);
+
+        // Predict ahead of `line`: the top successor, then the successor's
+        // own top successor (depth-2 chain walk — for serialized miss
+        // chains a depth-1 prefetch can never arrive in time), padded with
+        // further direct successors up to `degree`.
+        let degree = self.cfg.degree as usize;
+        let Some(idx) = self.entry_mut(raw, false) else {
+            return Vec::new();
+        };
+        self.stats.hits += 1;
+        self.table[idx].lru = stamp;
+        let direct: Vec<u64> = self.table[idx].successors.iter().map(|&(l, _)| l).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(degree);
+        if let Some(&s1) = direct.first() {
+            out.push(s1);
+            if let Some(i2) = self.entry_mut(s1, false) {
+                if let Some(&(s2, _)) = self.table[i2].successors.first() {
+                    if s2 != raw && s2 != s1 {
+                        out.push(s2);
+                    }
+                }
+            }
+        }
+        for &d in direct.iter().skip(1) {
+            if out.len() >= degree {
+                break;
+            }
+            if !out.contains(&d) && d != raw {
+                out.push(d);
+            }
+        }
+        out.truncate(degree);
+        self.stats.suggestions += out.len() as u64;
+        out.into_iter().map(LineAddr::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn learns_first_order_transitions() {
+        let mut m = Markov::new(MarkovConfig::SMALL_8KB);
+        for _ in 0..3 {
+            m.on_miss(line(1));
+            m.on_miss(line(2));
+            m.on_miss(line(3));
+        }
+        let s = m.on_miss(line(1));
+        assert_eq!(s.first(), Some(&line(2)));
+        let s = m.on_miss(line(2));
+        assert_eq!(s.first(), Some(&line(3)));
+    }
+
+    #[test]
+    fn tracks_multiple_successors_most_recent_first() {
+        let mut m = Markov::new(MarkovConfig::SMALL_8KB);
+        m.on_miss(line(1));
+        m.on_miss(line(2)); // 1 -> 2
+        m.on_miss(line(1));
+        m.on_miss(line(3)); // 1 -> 3 (more recent)
+        let s = m.on_miss(line(1));
+        assert_eq!(s, vec![line(3), line(2)]);
+    }
+
+    #[test]
+    fn fanout_bounded_by_config() {
+        let cfg = MarkovConfig {
+            set_bits: 4,
+            ways: 2,
+            successors: 2,
+            degree: 2,
+        };
+        let mut m = Markov::new(cfg);
+        for succ in 10..20 {
+            m.on_miss(line(1));
+            m.on_miss(line(succ));
+        }
+        let s = m.on_miss(line(1));
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn unknown_line_suggests_nothing() {
+        let mut m = Markov::new(MarkovConfig::SMALL_8KB);
+        assert!(m.on_miss(line(99)).is_empty());
+        assert_eq!(m.stats().observed, 1);
+        assert_eq!(m.stats().hits, 0);
+    }
+
+    #[test]
+    fn replacement_evicts_lru_entry() {
+        let cfg = MarkovConfig {
+            set_bits: 0,
+            ways: 2,
+            successors: 2,
+            degree: 1,
+        };
+        let mut m = Markov::new(cfg);
+        // Three distinct miss addresses fight over a 2-way single-set table.
+        for _ in 0..2 {
+            m.on_miss(line(1));
+            m.on_miss(line(2));
+            m.on_miss(line(3));
+        }
+        // The table can only remember two of the three transitions.
+        let known = [1u64, 2, 3]
+            .iter()
+            .filter(|&&l| !m.on_miss(line(l)).is_empty())
+            .count();
+        assert!(known <= 2);
+    }
+}

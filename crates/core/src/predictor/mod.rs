@@ -1,0 +1,24 @@
+//! Timekeeping predictors (§4.1 and §5.1 of the paper).
+//!
+//! The paper turns each timekeeping metric into an on-the-fly predictor:
+//!
+//! * **Conflict-miss predictors** ([`conflict`]) — small reload interval,
+//!   short dead time, or zero live time of a line's last generation each
+//!   signal that the line's next miss will be a conflict miss.
+//! * **Dead-block predictors** ([`dead_block`]) — an inordinately long idle
+//!   time (the decay heuristic) or the expiry of twice the block's previous
+//!   live time each signal that the resident block is already dead.
+//!
+//! Every predictor exposes a pure `predict` function plus accuracy/coverage
+//! scoring ([`accuracy`]) so the paper's accuracy-vs-coverage curves
+//! (Figures 8, 10, 11, 14, 16) can be regenerated.
+
+pub mod accuracy;
+pub mod conflict;
+pub mod dead_block;
+
+pub use accuracy::{AccuracyCoverage, SweepPoint};
+pub use conflict::{
+    DeadTimeConflictPredictor, ReloadIntervalConflictPredictor, ZeroLiveTimeConflictPredictor,
+};
+pub use dead_block::{DecayDeadBlockSweep, LiveTimeDeadBlockPredictor};

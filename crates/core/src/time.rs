@@ -1,0 +1,390 @@
+//! Cycles, coarse global ticks, and the small saturating counters the
+//! paper's hardware structures are built from.
+//!
+//! The paper's central implementation claim is that all of its timekeeping
+//! can be done with "essentially just coarse-grained simple counters that are
+//! ticked periodically (but not necessarily every cycle) from the global
+//! cycle counter" (§3). [`GlobalTicker`] models that periodic tick
+//! (512 cycles by default, as in the victim-filter hardware of §4.2), and
+//! [`CoarseCounter`] models an n-bit saturating counter advanced by it.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in processor cycles.
+///
+/// Subtracting two `Cycle`s yields a plain `u64` duration; durations are
+/// deliberately *not* a separate newtype because the paper's metrics (live
+/// time, dead time, access interval, reload interval) are all compared
+/// against raw cycle-count thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::Cycle;
+/// let start = Cycle::new(100);
+/// let end = start + 250;
+/// assert_eq!(end - start, 250);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero — the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in cycles since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    #[inline]
+    pub const fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The larger of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::since`] for a saturating difference.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cyc:{}", self.0)
+    }
+}
+
+/// Converts cycles into coarse global ticks.
+///
+/// Hardware timekeeping counters are not clocked every cycle: a single
+/// global counter broadcasts a *tick* every `period` cycles and the small
+/// per-line counters advance on that tick. The paper uses a 512-cycle tick
+/// for the victim-cache filter (§4.2) and for the prefetch counters (§5.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::{Cycle, GlobalTicker};
+/// let t = GlobalTicker::new(512);
+/// assert_eq!(t.tick_of(Cycle::new(0)), 0);
+/// assert_eq!(t.tick_of(Cycle::new(511)), 0);
+/// assert_eq!(t.tick_of(Cycle::new(512)), 1);
+/// assert_eq!(t.cycles(3), 1536);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalTicker {
+    period: u64,
+}
+
+impl GlobalTicker {
+    /// The paper's tick period: 512 cycles.
+    pub const PAPER_PERIOD: u64 = 512;
+
+    /// Creates a ticker with the given period in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "tick period must be nonzero");
+        GlobalTicker { period }
+    }
+
+    /// The tick period in cycles.
+    #[inline]
+    pub const fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The tick index containing cycle `c`.
+    #[inline]
+    pub const fn tick_of(&self, c: Cycle) -> u64 {
+        c.get() / self.period
+    }
+
+    /// Number of whole ticks in a duration of `cycles`.
+    #[inline]
+    pub const fn ticks_in(&self, cycles: u64) -> u64 {
+        cycles / self.period
+    }
+
+    /// Converts a tick count back into cycles.
+    #[inline]
+    pub const fn cycles(&self, ticks: u64) -> u64 {
+        ticks * self.period
+    }
+
+    /// True if a tick boundary falls in the half-open interval
+    /// `(from, to]` — i.e., whether per-line counters advance when time
+    /// moves from `from` to `to`.
+    #[inline]
+    pub const fn ticked_between(&self, from: Cycle, to: Cycle) -> bool {
+        self.tick_of(to) > self.tick_of(from)
+    }
+
+    /// Number of ticks that elapse when time moves from `from` to `to`.
+    #[inline]
+    pub const fn ticks_between(&self, from: Cycle, to: Cycle) -> u64 {
+        self.tick_of(to).saturating_sub(self.tick_of(from))
+    }
+}
+
+impl Default for GlobalTicker {
+    /// A ticker with the paper's 512-cycle period.
+    fn default() -> Self {
+        GlobalTicker::new(Self::PAPER_PERIOD)
+    }
+}
+
+/// An n-bit saturating counter advanced by global ticks.
+///
+/// This models the per-cache-line hardware counters: the 2-bit dead-time
+/// counter of the victim filter (Figure 12) and the 5-bit generation-time /
+/// live-time counters of the prefetcher (§5.2.2). The counter saturates at
+/// its maximum value instead of wrapping, matching cache-decay hardware.
+///
+/// # Examples
+///
+/// ```
+/// use timekeeping::CoarseCounter;
+/// let mut c = CoarseCounter::new(2); // 2-bit counter: saturates at 3
+/// c.advance(2);
+/// assert_eq!(c.get(), 2);
+/// c.advance(5);
+/// assert_eq!(c.get(), 3);
+/// c.reset();
+/// assert_eq!(c.get(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoarseCounter {
+    value: u32,
+    max: u32,
+}
+
+impl CoarseCounter {
+    /// Creates a counter of `bits` width, initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 31.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            bits > 0 && bits < 32,
+            "counter width must be in 1..=31 bits"
+        );
+        CoarseCounter {
+            value: 0,
+            max: (1u32 << bits) - 1,
+        }
+    }
+
+    /// Current counter value.
+    #[inline]
+    pub const fn get(&self) -> u32 {
+        self.value
+    }
+
+    /// Maximum (saturation) value.
+    #[inline]
+    pub const fn max_value(&self) -> u32 {
+        self.max
+    }
+
+    /// True if the counter has saturated.
+    #[inline]
+    pub const fn saturated(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Advances the counter by `ticks`, saturating.
+    #[inline]
+    pub fn advance(&mut self, ticks: u64) {
+        self.value = self
+            .value
+            .saturating_add(ticks.min(u32::MAX as u64) as u32)
+            .min(self.max);
+    }
+
+    /// Resets the counter to zero (on every access, in the victim-filter
+    /// hardware).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Sets the counter to `value`, saturating at the width's maximum.
+    #[inline]
+    pub fn set(&mut self, value: u32) {
+        self.value = value.min(self.max);
+    }
+
+    /// Decrements the counter by one tick, returning `true` when the counter
+    /// hits zero with this decrement (the "fire" condition of the prefetch
+    /// counter).
+    #[inline]
+    pub fn decrement(&mut self) -> bool {
+        if self.value == 0 {
+            return false;
+        }
+        self.value -= 1;
+        self.value == 0
+    }
+}
+
+impl fmt::Display for CoarseCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(100);
+        let b = a + 50;
+        assert_eq!(b - a, 50);
+        assert_eq!(a.since(b), 0);
+        assert_eq!(b.since(a), 50);
+        assert_eq!(a.max(b), b);
+        let mut c = a;
+        c += 7;
+        assert_eq!(c.get(), 107);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    #[cfg(debug_assertions)]
+    fn cycle_sub_underflow_panics_in_debug() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn ticker_boundaries() {
+        let t = GlobalTicker::new(512);
+        assert!(!t.ticked_between(Cycle::new(0), Cycle::new(511)));
+        assert!(t.ticked_between(Cycle::new(511), Cycle::new(512)));
+        assert_eq!(t.ticks_between(Cycle::new(0), Cycle::new(2048)), 4);
+        assert_eq!(t.ticks_in(1023), 1);
+    }
+
+    #[test]
+    fn ticker_default_is_paper_period() {
+        assert_eq!(GlobalTicker::default().period(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn ticker_rejects_zero_period() {
+        let _ = GlobalTicker::new(0);
+    }
+
+    #[test]
+    fn coarse_counter_saturates() {
+        let mut c = CoarseCounter::new(2);
+        assert_eq!(c.max_value(), 3);
+        c.advance(10);
+        assert!(c.saturated());
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn coarse_counter_decrement_fires_once() {
+        let mut c = CoarseCounter::new(5);
+        c.set(2);
+        assert!(!c.decrement());
+        assert!(c.decrement()); // hits zero here
+        assert!(!c.decrement()); // stays at zero, no re-fire
+    }
+
+    #[test]
+    fn coarse_counter_set_clamps() {
+        let mut c = CoarseCounter::new(5);
+        c.set(1000);
+        assert_eq!(c.get(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn coarse_counter_rejects_zero_width() {
+        let _ = CoarseCounter::new(0);
+    }
+
+    #[test]
+    fn dead_time_victim_filter_usage_pattern() {
+        // The §4.2 filter: 2-bit counter, reset on access, tick every 512
+        // cycles; admit to victim cache if value <= 1 at eviction.
+        let ticker = GlobalTicker::default();
+        let mut ctr = CoarseCounter::new(2);
+        let last_access = Cycle::new(1000);
+        let evict = Cycle::new(1800); // dead time 800 cycles
+        ctr.reset();
+        ctr.advance(ticker.ticks_in(evict - last_access));
+        assert!(
+            ctr.get() <= 1,
+            "800-cycle dead time must pass the 1K filter"
+        );
+
+        let evict_late = Cycle::new(1000 + 3000);
+        let mut ctr2 = CoarseCounter::new(2);
+        ctr2.advance(ticker.ticks_in(evict_late - last_access));
+        assert!(ctr2.get() > 1, "3000-cycle dead time must be filtered out");
+    }
+}

@@ -1,0 +1,443 @@
+//! Property-based tests of the core timekeeping structures: each checks a
+//! structural invariant against randomized inputs, several against
+//! independent reference models.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use timekeeping::{
+    Addr, CacheGeometry, CoarseCounter, CorrelationConfig, CorrelationTable, Cycle, EvictCause,
+    FullyAssocShadow, GenerationTracker, GlobalTicker, Histogram, LineAddr, LiveTimeVariability,
+    MissKind, VictimCache,
+};
+
+// ---------------------------------------------------------------- geometry
+
+proptest! {
+    /// Tag/index decomposition round-trips for any power-of-two geometry.
+    #[test]
+    fn geometry_decomposition_roundtrips(
+        size_log in 10u32..24,
+        assoc_log in 0u32..4,
+        block_log in 4u32..8,
+        addr in any::<u64>(),
+    ) {
+        prop_assume!(size_log >= assoc_log + block_log);
+        let geom = CacheGeometry::new(1 << size_log, 1 << assoc_log, 1 << block_log)
+            .expect("valid geometry");
+        let a = Addr::new(addr);
+        let line = geom.line_of(a);
+        prop_assert_eq!(geom.line_from_parts(geom.tag_of(a), geom.index_of(a)), line);
+        prop_assert_eq!(geom.tag_of_line(line), geom.tag_of(a));
+        prop_assert_eq!(geom.index_of_line(line), geom.index_of(a));
+        // The base address of the line contains the address's line.
+        prop_assert_eq!(geom.line_of(geom.addr_of_line(line)), line);
+        // Index is always within the set count.
+        prop_assert!(geom.index_of(a) < geom.num_sets());
+    }
+
+    /// Two addresses in the same block always share tag and index.
+    #[test]
+    fn same_block_same_decomposition(base in any::<u64>(), off in 0u64..32) {
+        let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+        let a = Addr::new(base & !31);
+        let b = a.offset(off);
+        prop_assert_eq!(geom.tag_of(a), geom.tag_of(b));
+        prop_assert_eq!(geom.index_of(a), geom.index_of(b));
+    }
+}
+
+// --------------------------------------------------------------- histogram
+
+proptest! {
+    /// Bucket counts plus overflow always equal the number of samples, and
+    /// cumulative fractions are monotone in the threshold.
+    #[test]
+    fn histogram_conservation_and_monotonicity(
+        values in vec(0u64..200_000, 1..200),
+        width in 1u64..5_000,
+        buckets in 1usize..64,
+    ) {
+        let mut h = Histogram::new(width, buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        let bucket_sum: u64 = (0..buckets).map(|i| h.bucket_count(i)).sum();
+        prop_assert_eq!(bucket_sum + h.overflow_count(), values.len() as u64);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+
+        let mut prev = 0.0;
+        for t in (0..10).map(|i| i * width * buckets as u64 / 8) {
+            let f = h.fraction_below(t);
+            prop_assert!(f >= prev - 1e-12, "fraction_below must be monotone");
+            prev = f;
+        }
+    }
+
+    /// `fraction_below` at a bucket boundary equals the exact fraction of
+    /// samples below that value.
+    #[test]
+    fn histogram_fraction_below_is_exact_on_boundaries(
+        values in vec(0u64..10_000, 1..200),
+        bucket_idx in 0usize..100,
+    ) {
+        let mut h = Histogram::new(100, 100);
+        for &v in &values {
+            h.record(v);
+        }
+        let t = bucket_idx as u64 * 100;
+        let expected = values.iter().filter(|&&v| v < t).count() as f64
+            / values.len() as f64;
+        prop_assert!((h.fraction_below(t) - expected).abs() < 1e-12);
+    }
+
+    /// Merging two histograms equals recording the concatenated samples.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        a in vec(0u64..50_000, 0..100),
+        b in vec(0u64..50_000, 0..100),
+    ) {
+        let mut ha = Histogram::new(100, 64);
+        let mut hb = Histogram::new(100, 64);
+        let mut hall = Histogram::new(100, 64);
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hall);
+    }
+}
+
+// ------------------------------------------------------------ time helpers
+
+proptest! {
+    /// Tick arithmetic: ticks_in and cycles round-trip within one period.
+    #[test]
+    fn ticker_roundtrip(period in 1u64..10_000, cycles in 0u64..10_000_000) {
+        let t = GlobalTicker::new(period);
+        let ticks = t.ticks_in(cycles);
+        prop_assert!(t.cycles(ticks) <= cycles);
+        prop_assert!(cycles - t.cycles(ticks) < period);
+    }
+
+    /// A coarse counter never exceeds its width's maximum regardless of
+    /// the advance sequence.
+    #[test]
+    fn coarse_counter_saturates(bits in 1u32..16, steps in vec(0u64..1000, 0..50)) {
+        let mut c = CoarseCounter::new(bits);
+        let max = c.max_value();
+        for s in steps {
+            c.advance(s);
+            prop_assert!(c.get() <= max);
+        }
+    }
+}
+
+// ------------------------------------------------------- shadow classifier
+
+/// Reference model: fully-associative LRU as an ordered Vec.
+#[derive(Default)]
+struct RefLru {
+    cap: usize,
+    lines: Vec<u64>,
+    seen: HashSet<u64>,
+}
+
+impl RefLru {
+    fn touch(&mut self, line: u64) -> MissKind {
+        let kind = if !self.seen.contains(&line) {
+            MissKind::Cold
+        } else if self.lines.contains(&line) {
+            MissKind::Conflict
+        } else {
+            MissKind::Capacity
+        };
+        self.seen.insert(line);
+        self.lines.retain(|&l| l != line);
+        self.lines.push(line);
+        if self.lines.len() > self.cap {
+            self.lines.remove(0);
+        }
+        kind
+    }
+}
+
+proptest! {
+    /// The shadow classifier agrees with a brute-force LRU reference on
+    /// every access of any trace.
+    #[test]
+    fn shadow_matches_reference_lru(
+        trace in vec(0u64..64, 1..400),
+        cap in 1usize..24,
+    ) {
+        let mut shadow = FullyAssocShadow::new(cap);
+        let mut reference = RefLru { cap, ..Default::default() };
+        for &line in &trace {
+            let expected = reference.touch(line);
+            let got = shadow.classify_miss(LineAddr::new(line));
+            prop_assert_eq!(got, expected, "line {}", line);
+        }
+        prop_assert!(shadow.len() <= cap);
+    }
+}
+
+// ------------------------------------------------------------ victim cache
+
+proptest! {
+    /// The victim cache holds at most `capacity` entries, and `take`
+    /// matches a brute-force LRU reference.
+    #[test]
+    fn victim_cache_matches_reference(
+        ops in vec((0u64..32, any::<bool>()), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut vc = VictimCache::new(cap);
+        let mut reference: Vec<u64> = Vec::new();
+        for (line, is_insert) in ops {
+            if is_insert {
+                vc.insert(LineAddr::new(line));
+                reference.retain(|&l| l != line);
+                reference.push(line);
+                if reference.len() > cap {
+                    reference.remove(0);
+                }
+            } else {
+                let expected = reference.iter().position(|&l| l == line).map(|i| {
+                    reference.remove(i);
+                });
+                let got = vc.take(LineAddr::new(line));
+                prop_assert_eq!(got, expected.is_some());
+            }
+            prop_assert!(vc.len() <= cap);
+            prop_assert_eq!(vc.len(), reference.len());
+        }
+    }
+}
+
+// ------------------------------------------------------ generation tracker
+
+proptest! {
+    /// For any fill/hit/evict schedule: live + dead spans the generation,
+    /// live time is the last-hit offset, and access counts match.
+    #[test]
+    fn tracker_time_accounting(hit_gaps in vec(1u64..1_000, 0..20), tail in 1u64..100_000) {
+        let mut t = GenerationTracker::new(1);
+        let start = Cycle::new(17);
+        t.fill(0, LineAddr::new(5), start);
+        let mut now = start;
+        let mut max_gap = 0;
+        for &g in &hit_gaps {
+            now += g;
+            let interval = t.hit(0, now);
+            prop_assert_eq!(interval, g);
+            max_gap = max_gap.max(g);
+        }
+        let evict_at = now + tail;
+        let rec = t.evict(0, evict_at, EvictCause::Demand).expect("open generation");
+        prop_assert_eq!(rec.live_time, now - start);
+        prop_assert_eq!(rec.dead_time, tail);
+        prop_assert_eq!(rec.generation_time(), evict_at - start);
+        prop_assert_eq!(rec.accesses as usize, hit_gaps.len() + 1);
+        prop_assert_eq!(rec.max_access_interval, max_gap);
+        prop_assert_eq!(rec.zero_live_time(), hit_gaps.is_empty());
+    }
+
+    /// Reload intervals chain: consecutive generations of the same line
+    /// measure exactly the gap between their fills.
+    #[test]
+    fn tracker_reload_interval_chain(gaps in vec(1u64..100_000, 1..20)) {
+        let mut t = GenerationTracker::new(1);
+        let mut now = Cycle::new(0);
+        t.fill(0, LineAddr::new(9), now);
+        for &g in &gaps {
+            t.evict(0, now + g / 2 + 1, EvictCause::Demand);
+            let prev = now;
+            now += g;
+            let ri = t.fill(0, LineAddr::new(9), now);
+            prop_assert_eq!(ri, Some(now - prev));
+        }
+    }
+}
+
+// -------------------------------------------------------- correlation table
+
+proptest! {
+    /// A lookup immediately after an update with the same key returns that
+    /// update's payload (no silent loss within a set's capacity of one).
+    #[test]
+    fn correlation_last_update_wins(
+        hist in any::<u64>(),
+        cur in any::<u64>(),
+        index in 0u64..1024,
+        next1 in any::<u64>(),
+        next2 in any::<u64>(),
+        lt in 0u8..32,
+    ) {
+        let mut t = CorrelationTable::new(CorrelationConfig::PAPER_8KB);
+        t.update(hist, cur, index, next1, lt, lt);
+        t.update(hist, cur, index, next2, lt, lt);
+        let p = t.lookup(hist, cur, index).expect("just updated");
+        prop_assert_eq!(p.next_tag, next2);
+        prop_assert_eq!(p.live_time_ticks, lt.min(31));
+    }
+
+    /// Occupancy never exceeds the configured entry count.
+    #[test]
+    fn correlation_occupancy_bounded(ops in vec((any::<u64>(), any::<u64>(), 0u64..1024), 1..500)) {
+        let cfg = CorrelationConfig { m_bits: 3, n_bits: 1, ways: 2 };
+        let mut t = CorrelationTable::new(cfg);
+        for (h, c, i) in ops {
+            t.update(h, c, i, h ^ c, 1, 1);
+            prop_assert!(t.occupancy() <= cfg.num_entries());
+        }
+    }
+}
+
+// ------------------------------------------------- live-time variability
+
+proptest! {
+    /// The exact integer log2-ratio bucketing agrees with the
+    /// floating-point computation.
+    #[test]
+    fn variability_ratio_matches_float(prev in 1u64..1_000_000, cur in 1u64..1_000_000) {
+        let mut v = LiveTimeVariability::new();
+        v.record(prev, cur);
+        let expected = (cur as f64 / prev as f64).log2().floor() as i32;
+        let expected_bucket = (12 + expected).clamp(0, 24) as usize;
+        prop_assert_eq!(
+            v.ratio_buckets()[expected_bucket], 1,
+            "prev={} cur={} expected bucket {}", prev, cur, expected_bucket
+        );
+    }
+
+    /// `fraction_within_2x` counts exactly the pairs with cur < 2*prev
+    /// (for nonzero pairs away from clamp extremes).
+    #[test]
+    fn variability_within_2x_exact(pairs in vec((1u64..100_000, 1u64..100_000), 1..100)) {
+        let mut v = LiveTimeVariability::new();
+        let mut expected = 0usize;
+        for &(p, c) in &pairs {
+            v.record(p, c);
+            if c < 2 * p {
+                expected += 1;
+            }
+        }
+        let frac = v.fraction_within_2x();
+        prop_assert!((frac - expected as f64 / pairs.len() as f64).abs() < 1e-9);
+    }
+}
+
+// ------------------------------------------------------- prefetch queue
+
+use timekeeping::{PrefetchQueue, PrefetchRequest};
+
+proptest! {
+    /// The queue is FIFO, bounded, and conserves requests:
+    /// enqueued = popped + discarded + still-pending.
+    #[test]
+    fn prefetch_queue_conserves_requests(
+        ops in vec((0u64..64, any::<bool>()), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut q = PrefetchQueue::new(cap);
+        let mut reference: std::collections::VecDeque<u64> = Default::default();
+        let mut popped = 0u64;
+        for (line, push) in ops {
+            if push {
+                q.push(PrefetchRequest { line: LineAddr::new(line), frame: 0, need_in_ticks: None });
+                reference.push_back(line);
+                if reference.len() > cap {
+                    reference.pop_front();
+                }
+            } else {
+                let got = q.pop().map(|r| r.line.get());
+                prop_assert_eq!(got, reference.pop_front());
+                if got.is_some() {
+                    popped += 1;
+                }
+            }
+            prop_assert!(q.len() <= cap);
+            prop_assert_eq!(q.len(), reference.len());
+        }
+        prop_assert_eq!(q.enqueued(), popped + q.discarded() + q.len() as u64);
+    }
+}
+
+// --------------------------------------------- conflict sweep soundness
+
+use timekeeping::metrics::MetricsCollector;
+use timekeeping::{Cycle as C2, LineHistory};
+
+proptest! {
+    /// The threshold-sweep accuracy/coverage computed from histograms
+    /// agrees with a brute-force evaluation over the raw samples.
+    #[test]
+    fn conflict_sweep_matches_bruteforce(
+        samples in vec((0u64..200_000, any::<bool>()), 1..150),
+        threshold_k in 1u64..64,
+    ) {
+        let threshold = threshold_k * 1000;
+        let mut m = MetricsCollector::new();
+        for &(ri, is_conflict) in &samples {
+            let kind = if is_conflict { MissKind::Conflict } else { MissKind::Capacity };
+            let h = LineHistory {
+                last_start: C2::new(0),
+                last_live_time: 1,
+                last_dead_time: 1,
+                completed: true,
+            };
+            m.on_miss(kind, Some(&h), Some(ri));
+        }
+        let pts = m.conflict_sweep_reload(&[threshold]);
+        let tp = samples.iter().filter(|&&(ri, c)| c && ri < threshold).count();
+        let fp = samples.iter().filter(|&&(ri, c)| !c && ri < threshold).count();
+        let pos = samples.iter().filter(|&&(_, c)| c).count();
+        let expect_acc = (tp + fp > 0).then(|| tp as f64 / (tp + fp) as f64);
+        let expect_cov = (pos > 0).then(|| tp as f64 / pos as f64);
+        match (pts[0].accuracy, expect_acc) {
+            (Some(a), Some(e)) => prop_assert!((a - e).abs() < 1e-12),
+            (a, e) => prop_assert_eq!(a, e),
+        }
+        match (pts[0].coverage, expect_cov) {
+            (Some(a), Some(e)) => prop_assert!((a - e).abs() < 1e-12),
+            (a, e) => prop_assert_eq!(a, e),
+        }
+    }
+}
+
+// ------------------------------------------------------ timeliness stats
+
+use timekeeping::{Timeliness, TimelinessStats};
+
+proptest! {
+    /// Per-correctness fractions sum to one over the five classes whenever
+    /// anything was recorded, and merge adds counts cell-wise.
+    #[test]
+    fn timeliness_fractions_partition(events in vec((any::<bool>(), 0usize..5), 1..200)) {
+        let mut s = TimelinessStats::new();
+        for &(correct, class_idx) in &events {
+            s.record(correct, Timeliness::ALL[class_idx]);
+        }
+        for correct in [true, false] {
+            if s.total(correct) > 0 {
+                let sum: f64 = Timeliness::ALL
+                    .iter()
+                    .map(|&c| s.fraction(correct, c))
+                    .sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+        let mut doubled = s;
+        doubled.merge(&s);
+        prop_assert_eq!(doubled.total(true), 2 * s.total(true));
+        prop_assert_eq!(doubled.total(false), 2 * s.total(false));
+    }
+}

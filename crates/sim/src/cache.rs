@@ -1,0 +1,364 @@
+//! Generic set-associative LRU cache tag array.
+//!
+//! Holds tags only (the simulator is timing-directed; data values are
+//! irrelevant). Frames are numbered set-major: `frame = set * assoc + way`,
+//! so for a direct-mapped cache the frame number equals the set index —
+//! the identification the paper's per-frame timekeeping hardware relies on.
+
+use timekeeping::{Addr, CacheGeometry, LineAddr};
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Hit in the given frame.
+    Hit(usize),
+    /// Miss; the victim frame that a fill would use, and the line it
+    /// currently holds (if any).
+    Miss {
+        /// Frame a fill would allocate into.
+        victim_frame: usize,
+        /// Line currently resident there, if valid.
+        evicted: Option<LineAddr>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// A set-associative cache tag array with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use tk_sim::cache::{ProbeResult, SetAssocCache};
+/// use timekeeping::{Addr, CacheGeometry};
+///
+/// let geom = CacheGeometry::new(1024, 2, 32).unwrap();
+/// let mut c = SetAssocCache::new(geom);
+/// let a = Addr::new(0x40);
+/// assert!(matches!(c.probe(a), ProbeResult::Miss { .. }));
+/// c.fill(a);
+/// assert!(matches!(c.probe(a), ProbeResult::Hit(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    ways: Vec<Way>,
+    stamp: u64,
+    accesses: u64,
+    hits: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        SetAssocCache {
+            geom,
+            ways: vec![
+                Way {
+                    valid: false,
+                    dirty: false,
+                    tag: 0,
+                    lru: 0
+                };
+                geom.num_frames() as usize
+            ],
+            stamp: 0,
+            accesses: 0,
+            hits: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Total accesses probed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Probe hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    #[inline]
+    fn set_range(&self, addr: Addr) -> (usize, usize) {
+        let set = self.geom.index_of(addr) as usize;
+        let assoc = self.geom.assoc() as usize;
+        (set * assoc, assoc)
+    }
+
+    /// Probes for `addr`, updating LRU state on a hit and counting the
+    /// access. On a miss, reports the frame a fill would use (invalid way
+    /// first, else LRU) without modifying anything.
+    pub fn probe(&mut self, addr: Addr) -> ProbeResult {
+        self.accesses += 1;
+        self.stamp += 1;
+        let tag = self.geom.tag_of(addr);
+        let (base, assoc) = self.set_range(addr);
+        for w in 0..assoc {
+            let way = &mut self.ways[base + w];
+            if way.valid && way.tag == tag {
+                way.lru = self.stamp;
+                self.hits += 1;
+                return ProbeResult::Hit(base + w);
+            }
+        }
+        let victim = self.choose_victim(base, assoc);
+        ProbeResult::Miss {
+            victim_frame: victim,
+            evicted: self.line_in_frame(victim),
+        }
+    }
+
+    /// Probes without updating LRU or counters.
+    pub fn peek(&self, addr: Addr) -> Option<usize> {
+        let tag = self.geom.tag_of(addr);
+        let (base, assoc) = self.set_range(addr);
+        (0..assoc)
+            .map(|w| base + w)
+            .find(|&f| self.ways[f].valid && self.ways[f].tag == tag)
+    }
+
+    fn choose_victim(&self, base: usize, assoc: usize) -> usize {
+        let mut best = base;
+        let mut best_key = (true, u64::MAX);
+        for w in 0..assoc {
+            let f = base + w;
+            let key = (self.ways[f].valid, self.ways[f].lru);
+            if key < best_key {
+                best_key = key;
+                best = f;
+            }
+        }
+        best
+    }
+
+    /// The frame a fill of `addr` would allocate into and the line it
+    /// currently holds, without modifying any state or counters.
+    pub fn peek_victim(&self, addr: Addr) -> (usize, Option<LineAddr>) {
+        let (base, assoc) = self.set_range(addr);
+        let victim = self.choose_victim(base, assoc);
+        (victim, self.line_in_frame(victim))
+    }
+
+    /// Fills `addr` into its set's victim frame (invalid way first, else
+    /// LRU), marking it most-recently used. Returns
+    /// `(frame, evicted_line)`.
+    pub fn fill(&mut self, addr: Addr) -> (usize, Option<LineAddr>) {
+        let (base, assoc) = self.set_range(addr);
+        let victim = self.choose_victim(base, assoc);
+        let evicted = self.line_in_frame(victim);
+        self.stamp += 1;
+        self.ways[victim] = Way {
+            valid: true,
+            dirty: false,
+            tag: self.geom.tag_of(addr),
+            lru: self.stamp,
+        };
+        (victim, evicted)
+    }
+
+    /// Fills `addr` into a specific frame (used when a victim-cache swap
+    /// restores a block into its original set). The frame must belong to
+    /// `addr`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not in `addr`'s set.
+    pub fn fill_frame(&mut self, frame: usize, addr: Addr) -> Option<LineAddr> {
+        let (base, assoc) = self.set_range(addr);
+        assert!(
+            frame >= base && frame < base + assoc,
+            "frame {frame} is not in the set of {addr}"
+        );
+        let evicted = self.line_in_frame(frame);
+        self.stamp += 1;
+        self.ways[frame] = Way {
+            valid: true,
+            dirty: false,
+            tag: self.geom.tag_of(addr),
+            lru: self.stamp,
+        };
+        evicted
+    }
+
+    /// Marks the line in `frame` dirty (modified by a store). Fills clear
+    /// the flag.
+    pub fn mark_dirty(&mut self, frame: usize) {
+        if self.ways[frame].valid {
+            self.ways[frame].dirty = true;
+        }
+    }
+
+    /// Whether the (valid) line in `frame` is dirty.
+    pub fn frame_dirty(&self, frame: usize) -> bool {
+        self.ways[frame].valid && self.ways[frame].dirty
+    }
+
+    /// The line currently resident in `frame`, if valid.
+    pub fn line_in_frame(&self, frame: usize) -> Option<LineAddr> {
+        let way = &self.ways[frame];
+        way.valid.then(|| {
+            let set = frame as u64 / self.geom.assoc() as u64;
+            self.geom.line_from_parts(way.tag, set)
+        })
+    }
+
+    /// The set index that `frame` belongs to.
+    pub fn set_of_frame(&self, frame: usize) -> u64 {
+        frame as u64 / self.geom.assoc() as u64
+    }
+
+    /// Invalidates `frame`, returning the line that was resident.
+    pub fn invalidate(&mut self, frame: usize) -> Option<LineAddr> {
+        let line = self.line_in_frame(frame);
+        self.ways[frame].valid = false;
+        line
+    }
+
+    /// Number of valid frames.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_cache() -> SetAssocCache {
+        // 4 sets, direct-mapped, 32 B blocks.
+        SetAssocCache::new(CacheGeometry::new(128, 1, 32).unwrap())
+    }
+
+    fn assoc_cache() -> SetAssocCache {
+        // 2 sets, 2-way, 32 B blocks.
+        SetAssocCache::new(CacheGeometry::new(128, 2, 32).unwrap())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = dm_cache();
+        let a = Addr::new(0x20);
+        assert!(matches!(
+            c.probe(a),
+            ProbeResult::Miss { evicted: None, .. }
+        ));
+        c.fill(a);
+        assert!(matches!(c.probe(a), ProbeResult::Hit(_)));
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = dm_cache();
+        let a = Addr::new(0x20);
+        let b = Addr::new(0x20 + 128); // same set, different tag
+        c.fill(a);
+        let (frame, evicted) = c.fill(b);
+        assert_eq!(evicted, Some(c.geometry().line_of(a)));
+        assert_eq!(c.line_in_frame(frame), Some(c.geometry().line_of(b)));
+        assert!(c.peek(a).is_none());
+    }
+
+    #[test]
+    fn two_way_lru_replacement() {
+        let mut c = assoc_cache();
+        let mk = |i: u64| Addr::new(i * 64); // all map to set 0 (64 B per set stride)
+        c.fill(mk(0));
+        c.fill(mk(1));
+        // Touch 0 so 1 becomes LRU.
+        assert!(matches!(c.probe(mk(0)), ProbeResult::Hit(_)));
+        let (_, evicted) = c.fill(mk(2));
+        assert_eq!(evicted, Some(c.geometry().line_of(mk(1))));
+        assert!(c.peek(mk(0)).is_some());
+        assert!(c.peek(mk(2)).is_some());
+    }
+
+    #[test]
+    fn probe_miss_reports_victim_without_mutation() {
+        let mut c = dm_cache();
+        let a = Addr::new(0x20);
+        c.fill(a);
+        let b = Addr::new(0x20 + 128);
+        match c.probe(b) {
+            ProbeResult::Miss {
+                victim_frame,
+                evicted,
+            } => {
+                assert_eq!(evicted, Some(c.geometry().line_of(a)));
+                assert_eq!(c.line_in_frame(victim_frame), Some(c.geometry().line_of(a)));
+            }
+            _ => panic!("expected miss"),
+        }
+        // a is still resident — probe did not fill.
+        assert!(c.peek(a).is_some());
+    }
+
+    #[test]
+    fn frame_set_mapping_direct_mapped() {
+        let c = dm_cache();
+        // Direct-mapped: frame == set.
+        for f in 0..4 {
+            assert_eq!(c.set_of_frame(f), f as u64);
+        }
+    }
+
+    #[test]
+    fn fill_frame_swaps_into_specific_way() {
+        let mut c = assoc_cache();
+        let a = Addr::new(0);
+        let (frame, _) = c.fill(a);
+        let b = Addr::new(64); // same set
+        let evicted = c.fill_frame(frame, b);
+        assert_eq!(evicted, Some(c.geometry().line_of(a)));
+        assert_eq!(c.peek(b), Some(frame));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the set")]
+    fn fill_frame_rejects_wrong_set() {
+        let mut c = dm_cache();
+        // Frame 0 is set 0; addr 0x20 is set 1.
+        c.fill_frame(0, Addr::new(0x20));
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut c = dm_cache();
+        let a = Addr::new(0);
+        let (f, _) = c.fill(a);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.invalidate(f), Some(c.geometry().line_of(a)));
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.invalidate(f), None);
+    }
+
+    #[test]
+    fn invalid_way_preferred_over_lru() {
+        let mut c = assoc_cache();
+        let a = Addr::new(0);
+        c.fill(a);
+        // Set 0 has one valid and one invalid way: fill must take the
+        // invalid way, not evict `a`.
+        let (_, evicted) = c.fill(Addr::new(64));
+        assert_eq!(evicted, None);
+        assert!(c.peek(a).is_some());
+    }
+}

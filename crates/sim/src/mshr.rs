@@ -1,0 +1,199 @@
+//! Miss Status Holding Registers.
+//!
+//! An MSHR entry tracks one outstanding miss from allocation until its data
+//! returns. Later misses to the same line *merge*: they observe the
+//! existing entry's completion time instead of issuing a second request.
+//! When the file is full, new misses queue behind the earliest-completing
+//! entry (modeled as a delayed start, not a pipeline flush).
+
+use std::collections::HashMap;
+
+use timekeeping::{Cycle, LineAddr};
+
+/// A file of MSHRs with line-merge and full-file queuing semantics.
+///
+/// # Examples
+///
+/// ```
+/// use tk_sim::mshr::MshrFile;
+/// use timekeeping::{Cycle, LineAddr};
+///
+/// let mut m = MshrFile::new(2);
+/// let line = LineAddr::new(7);
+/// assert!(m.lookup(line).is_none());
+/// m.allocate(line, Cycle::new(100));
+/// // A second miss to the same line merges.
+/// assert_eq!(m.lookup(line), Some(Cycle::new(100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Cycle>,
+    merges: u64,
+    allocations: u64,
+    full_stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            merges: 0,
+            allocations: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// Capacity in registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Outstanding misses (after expiring entries older than `now`).
+    pub fn outstanding(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Total allocations performed.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Misses that merged into an existing entry.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Requests that found the file full and had to queue.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Removes entries whose data has returned by `now`.
+    pub fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|_, &mut ready| ready > now);
+    }
+
+    /// Whether `line` is currently outstanding (no merge counted).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line.get())
+    }
+
+    /// Completion time of `line`'s outstanding miss, if any (no merge
+    /// counted).
+    pub fn ready_time(&self, line: LineAddr) -> Option<Cycle> {
+        self.entries.get(&line.get()).copied()
+    }
+
+    /// If `line` is already outstanding, returns its completion time and
+    /// counts a merge.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<Cycle> {
+        let ready = self.entries.get(&line.get()).copied();
+        if ready.is_some() {
+            self.merges += 1;
+        }
+        ready
+    }
+
+    /// Earliest time at which a register will free up (`None` if one is
+    /// free right now at `now`).
+    pub fn next_free(&mut self, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        if self.entries.len() < self.capacity {
+            None
+        } else {
+            self.full_stalls += 1;
+            self.entries.values().min().copied()
+        }
+    }
+
+    /// Allocates an entry completing at `ready`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the file is over capacity — callers must
+    /// consult [`next_free`](Self::next_free) first.
+    pub fn allocate(&mut self, line: LineAddr, ready: Cycle) {
+        self.allocations += 1;
+        self.entries.insert(line.get(), ready);
+        debug_assert!(
+            self.entries.len() <= self.capacity,
+            "MSHR overflow: callers must queue when full"
+        );
+    }
+
+    /// Removes the entry for `line` (e.g. a prefetch superseded by a
+    /// demand fetch taking ownership). Returns its completion time.
+    pub fn remove(&mut self, line: LineAddr) -> Option<Cycle> {
+        self.entries.remove(&line.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn merge_returns_existing_completion() {
+        let mut m = MshrFile::new(4);
+        m.allocate(line(1), Cycle::new(500));
+        assert_eq!(m.lookup(line(1)), Some(Cycle::new(500)));
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.lookup(line(2)), None);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn expiry_frees_registers() {
+        let mut m = MshrFile::new(1);
+        m.allocate(line(1), Cycle::new(100));
+        assert_eq!(m.outstanding(Cycle::new(50)), 1);
+        assert_eq!(m.outstanding(Cycle::new(100)), 0);
+    }
+
+    #[test]
+    fn full_file_reports_next_free() {
+        let mut m = MshrFile::new(2);
+        m.allocate(line(1), Cycle::new(300));
+        m.allocate(line(2), Cycle::new(200));
+        assert_eq!(m.next_free(Cycle::new(10)), Some(Cycle::new(200)));
+        assert_eq!(m.full_stalls(), 1);
+        // After 200 the file has room again.
+        assert_eq!(m.next_free(Cycle::new(200)), None);
+    }
+
+    #[test]
+    fn remove_supersedes() {
+        let mut m = MshrFile::new(2);
+        m.allocate(line(1), Cycle::new(300));
+        assert_eq!(m.remove(line(1)), Some(Cycle::new(300)));
+        assert_eq!(m.remove(line(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn allocation_counter() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5 {
+            m.allocate(line(i), Cycle::new(10 + i));
+        }
+        assert_eq!(m.allocations(), 5);
+    }
+}

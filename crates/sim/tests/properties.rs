@@ -1,0 +1,239 @@
+//! Property-based tests of the simulator substrate: the set-associative
+//! cache against a reference LRU model, MSHR bookkeeping, bus
+//! serialization, and whole-system conservation laws.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use timekeeping::{Addr, CacheGeometry, Cycle, LineAddr, Pc};
+use tk_sim::bus::Bus;
+use tk_sim::cache::{ProbeResult, SetAssocCache};
+use tk_sim::mshr::MshrFile;
+use tk_sim::trace::{Instr, MemRef, Workload};
+use tk_sim::{run_workload, SystemConfig};
+
+// ----------------------------------------------------- set-assoc cache LRU
+
+/// Reference model: per-set ordered vectors of tags.
+struct RefCache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(geom: CacheGeometry) -> Self {
+        RefCache {
+            geom,
+            sets: vec![Vec::new(); geom.num_sets() as usize],
+        }
+    }
+
+    /// Returns whether the access hit, applying LRU update + fill.
+    fn access(&mut self, addr: Addr) -> bool {
+        let set = &mut self.sets[self.geom.index_of(addr) as usize];
+        let tag = self.geom.tag_of(addr);
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            set.push(tag);
+            if set.len() > self.geom.assoc() as usize {
+                set.remove(0);
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    /// probe+fill agrees with the reference LRU model on hit/miss for
+    /// every access of any trace and any small geometry.
+    #[test]
+    fn cache_matches_reference_lru(
+        trace in vec(0u64..4096, 1..500),
+        assoc_log in 0u32..3,
+    ) {
+        let geom = CacheGeometry::new(1024, 1 << assoc_log, 32).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut reference = RefCache::new(geom);
+        for &raw in &trace {
+            let addr = Addr::new(raw * 8);
+            let expected_hit = reference.access(addr);
+            match cache.probe(addr) {
+                ProbeResult::Hit(frame) => {
+                    prop_assert!(expected_hit, "model says miss, cache hit");
+                    prop_assert_eq!(cache.line_in_frame(frame), Some(geom.line_of(addr)));
+                }
+                ProbeResult::Miss { .. } => {
+                    prop_assert!(!expected_hit, "model says hit, cache missed");
+                    cache.fill(addr);
+                }
+            }
+        }
+        prop_assert_eq!(
+            cache.hits() + cache.misses(),
+            trace.len() as u64
+        );
+    }
+
+    /// The victim reported by a missing probe is exactly the line that a
+    /// subsequent fill evicts.
+    #[test]
+    fn probe_victim_prediction_matches_fill(trace in vec(0u64..512, 1..200)) {
+        let geom = CacheGeometry::new(512, 2, 32).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        for &raw in &trace {
+            let addr = Addr::new(raw * 32);
+            if let ProbeResult::Miss { victim_frame, evicted } = cache.probe(addr) {
+                let (frame, evicted2) = cache.fill(addr);
+                prop_assert_eq!(frame, victim_frame);
+                prop_assert_eq!(evicted2, evicted);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- MSHRs
+
+proptest! {
+    /// Outstanding count tracks allocations minus expiries; merges find
+    /// exactly the outstanding lines.
+    #[test]
+    fn mshr_bookkeeping(allocs in vec((0u64..64, 1u64..10_000), 1..64)) {
+        let mut m = MshrFile::new(64);
+        let mut expected: std::collections::HashMap<u64, u64> = Default::default();
+        let mut t = 0u64;
+        for (line, dur) in allocs {
+            t += 1;
+            let now = Cycle::new(t);
+            expected.retain(|_, &mut ready| ready > t);
+            m.expire(now);
+            if let Some(ready) = m.lookup(LineAddr::new(line)) {
+                prop_assert_eq!(Some(&ready.get()), expected.get(&line));
+            } else if expected.len() < 64 {
+                m.allocate(LineAddr::new(line), now + dur);
+                expected.insert(line, t + dur);
+            }
+            prop_assert_eq!(m.outstanding(now), expected.len());
+        }
+    }
+}
+
+// --------------------------------------------------------------------- bus
+
+proptest! {
+    /// Bus grants are non-overlapping, in order, and never before the
+    /// request time.
+    #[test]
+    fn bus_serializes_without_overlap(
+        occupancy in 1u64..16,
+        reqs in vec(0u64..10_000, 1..100),
+    ) {
+        let mut sorted = reqs.clone();
+        sorted.sort_unstable();
+        let mut bus = Bus::new(occupancy);
+        let mut last_end = 0u64;
+        for &r in &sorted {
+            let start = bus.schedule(Cycle::new(r));
+            prop_assert!(start.get() >= r, "grant before request");
+            prop_assert!(start.get() >= last_end, "overlapping transfers");
+            last_end = start.get() + occupancy;
+        }
+        prop_assert_eq!(bus.transfers(), sorted.len() as u64);
+        prop_assert_eq!(bus.busy_cycles(), occupancy * sorted.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------- whole system
+
+/// A small deterministic workload over a parameterized footprint.
+struct ParamStream {
+    pos: u64,
+    stride: u64,
+    footprint: u64,
+}
+
+impl Workload for ParamStream {
+    fn next_instr(&mut self) -> Instr {
+        self.pos = (self.pos + self.stride) % self.footprint;
+        Instr::Load(MemRef::new(Addr::new(0x1000_0000 + self.pos), Pc::new(4)))
+    }
+    fn name(&self) -> &str {
+        "param-stream"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// System-level conservation: hits + misses = accesses; classified
+    /// misses = L1 misses; L2 demand accesses = L1 misses (no victim
+    /// cache, no prefetch); memory accesses <= L2 accesses; cycles > 0 and
+    /// IPC <= issue width.
+    #[test]
+    fn system_conservation_laws(
+        stride_log in 3u32..8,
+        footprint_log in 12u32..22,
+    ) {
+        let mut w = ParamStream {
+            pos: 0,
+            stride: 1 << stride_log,
+            footprint: 1 << footprint_log,
+        };
+        let r = run_workload(&mut w, SystemConfig::base(), 30_000);
+        let h = r.hierarchy;
+        prop_assert_eq!(h.l1_accesses, 30_000);
+        prop_assert!(h.l1_hits <= h.l1_accesses);
+        prop_assert_eq!(r.breakdown.total(), h.l1_misses());
+        prop_assert_eq!(h.l2_accesses, h.l1_misses());
+        prop_assert!(h.mem_accesses <= h.l2_accesses);
+        prop_assert!(r.core.cycles > 0);
+        prop_assert!(r.ipc() <= 8.0 + 1e-9);
+    }
+}
+
+// ------------------------------------------------- core-model monotonicity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// A wider issue width never slows the machine down (same workload,
+    /// same hierarchy).
+    #[test]
+    fn ipc_monotone_in_issue_width(stride_log in 3u32..7, footprint_log in 14u32..20) {
+        let run = |width: u32| {
+            let mut cfg = SystemConfig::base();
+            cfg.machine.issue_width = width;
+            cfg.machine.commit_width = width;
+            let mut w = ParamStream {
+                pos: 0,
+                stride: 1 << stride_log,
+                footprint: 1 << footprint_log,
+            };
+            run_workload(&mut w, cfg, 20_000).ipc()
+        };
+        let (one, four, eight) = (run(1), run(4), run(8));
+        prop_assert!(four >= one - 1e-9, "4-wide {four} < 1-wide {one}");
+        prop_assert!(eight >= four - 1e-9, "8-wide {eight} < 4-wide {four}");
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// A larger instruction window never slows the machine down.
+    #[test]
+    fn ipc_monotone_in_window(stride_log in 3u32..7, footprint_log in 14u32..20) {
+        let run = |window: u32| {
+            let mut cfg = SystemConfig::base();
+            cfg.machine.window_size = window;
+            let mut w = ParamStream {
+                pos: 0,
+                stride: 1 << stride_log,
+                footprint: 1 << footprint_log,
+            };
+            run_workload(&mut w, cfg, 20_000).ipc()
+        };
+        let (small, large) = (run(32), run(256));
+        prop_assert!(large >= small - 1e-9, "256-entry {large} < 32-entry {small}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # tk-workloads — deterministic SPEC2000-like workload generators
+//!
+//! The paper evaluates on SPEC CPU2000 binaries; this crate substitutes
+//! deterministic synthetic reference generators, one per benchmark,
+//! calibrated so each benchmark exhibits the qualitative behavior the
+//! paper reports for it (miss mix, memory-stall sensitivity, live-time
+//! regularity, address predictability, burstiness — see DESIGN.md §1).
+//!
+//! * [`patterns`] — the building blocks: streams, triads, stencils, tiled
+//!   passes, pointer chases and conflict walks.
+//! * [`profile`] — [`SyntheticWorkload`]: a weighted pattern mix with
+//!   interleaved compute, burstiness, and compiler-style software
+//!   prefetching.
+//! * [`spec`] — [`SpecBenchmark`]: the calibrated 26-benchmark suite.
+//!
+//! ```
+//! use tk_workloads::SpecBenchmark;
+//! use tk_sim::{run_workload, SystemConfig};
+//!
+//! let mut ammp = SpecBenchmark::Ammp.build(1);
+//! let result = run_workload(&mut ammp, SystemConfig::base(), 20_000);
+//! assert!(result.hierarchy.l1_accesses > 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod multiprog;
+pub mod patterns;
+pub mod profile;
+pub mod rng;
+pub mod spec;
+pub mod tracefile;
+
+pub use multiprog::Multiprogrammed;
+pub use profile::{Burstiness, SwPrefetchPolicy, SyntheticWorkload};
+pub use rng::Rng;
+pub use spec::{BenchGroup, SpecBenchmark};
+pub use tracefile::{ParseTraceError, TraceFileWorkload};

@@ -1,0 +1,688 @@
+//! Composable reference-pattern building blocks.
+//!
+//! Each SPEC2000 benchmark profile is assembled from a weighted mix of
+//! these patterns. Every pattern is deterministic given the shared
+//! [`Rng`] and produces raw accesses (address, PC, kind);
+//! the composite workload interleaves them with compute instructions.
+
+use crate::rng::Rng;
+
+/// How an access reaches the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Independent load (array-style; overlaps in the window).
+    Load,
+    /// Address-dependent load (pointer-style; serializes).
+    ChainedLoad,
+    /// Store (retires through the write buffer).
+    Store,
+}
+
+/// One raw memory access produced by a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Synthetic program counter.
+    pub pc: u64,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// A deterministic source of raw accesses.
+pub trait Pattern: std::fmt::Debug {
+    /// Produces the next access.
+    fn next_access(&mut self, rng: &mut Rng) -> RawAccess;
+
+    /// Address this pattern would like software-prefetched (a compiler
+    /// lookahead), if it has one.
+    fn prefetch_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Sequential sweep over a large region, wrapping at the end — the
+/// dominant pattern of streaming FP codes (swim, facerec). Generates
+/// capacity misses with long, regular reload intervals.
+#[derive(Debug, Clone)]
+pub struct StreamPattern {
+    base: u64,
+    footprint: u64,
+    stride: u64,
+    pos: u64,
+    pc_base: u64,
+    store_every: u64,
+    count: u64,
+    lookahead: u64,
+}
+
+impl StreamPattern {
+    /// Creates a sweep of `footprint` bytes starting at `base`, advancing
+    /// `stride` bytes per access.
+    ///
+    /// `store_every` makes every n-th access a store (0 = never).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` or `stride` is zero.
+    pub fn new(base: u64, footprint: u64, stride: u64, pc_base: u64, store_every: u64) -> Self {
+        assert!(
+            footprint > 0 && stride > 0,
+            "footprint and stride must be nonzero"
+        );
+        StreamPattern {
+            base,
+            footprint,
+            stride,
+            pos: 0,
+            pc_base,
+            store_every,
+            count: 0,
+            lookahead: 8 * 64,
+        }
+    }
+}
+
+impl Pattern for StreamPattern {
+    fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
+        let addr = self.base + self.pos;
+        self.pos = (self.pos + self.stride) % self.footprint;
+        self.count += 1;
+        let kind = if self.store_every > 0 && self.count.is_multiple_of(self.store_every) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        // A small rotating set of PCs models the loop body.
+        let pc = self.pc_base + (self.count % 4) * 4;
+        RawAccess { addr, pc, kind }
+    }
+
+    fn prefetch_hint(&self) -> Option<u64> {
+        Some(self.base + (self.pos + self.lookahead) % self.footprint)
+    }
+}
+
+/// Triad-style multi-array loop: `a[i] = b[i] + c[i]` — three interleaved
+/// streams with fixed per-array PCs (wupwise, swim kernels).
+#[derive(Debug, Clone)]
+pub struct TriadPattern {
+    bases: [u64; 3],
+    footprint: u64,
+    stride: u64,
+    pos: u64,
+    phase: usize,
+    pc_base: u64,
+}
+
+impl TriadPattern {
+    /// Creates a triad over three arrays of `footprint` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` or `stride` is zero.
+    pub fn new(bases: [u64; 3], footprint: u64, stride: u64, pc_base: u64) -> Self {
+        assert!(
+            footprint > 0 && stride > 0,
+            "footprint and stride must be nonzero"
+        );
+        TriadPattern {
+            bases,
+            footprint,
+            stride,
+            pos: 0,
+            phase: 0,
+            pc_base,
+        }
+    }
+}
+
+impl Pattern for TriadPattern {
+    fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
+        let (array, kind) = match self.phase {
+            0 => (1, AccessKind::Load),  // b[i]
+            1 => (2, AccessKind::Load),  // c[i]
+            _ => (0, AccessKind::Store), // a[i]
+        };
+        let addr = self.bases[array] + self.pos;
+        let pc = self.pc_base + self.phase as u64 * 4;
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.pos = (self.pos + self.stride) % self.footprint;
+        }
+        RawAccess { addr, pc, kind }
+    }
+
+    fn prefetch_hint(&self) -> Option<u64> {
+        Some(self.bases[1] + (self.pos + 8 * 64) % self.footprint)
+    }
+}
+
+/// Pointer chase over a fixed pseudo-random cycle of nodes (mcf's lists,
+/// ammp's neighbor structures). The traversal order is a full-period LCG
+/// permutation, so it *repeats identically* every lap — the regularity the
+/// paper's per-frame predictors exploit — while looking random to the
+/// cache.
+#[derive(Debug, Clone)]
+pub struct PointerChasePattern {
+    base: u64,
+    nodes: u64,
+    node_spacing: u64,
+    idx: u64,
+    mult: u64,
+    inc: u64,
+    pc: u64,
+    fields: u64,
+    field: u64,
+    noise_pct: u64,
+}
+
+impl PointerChasePattern {
+    /// Creates a chase over `nodes` nodes spaced `node_spacing` bytes
+    /// apart starting at `base`. Each visit dereferences the node pointer
+    /// (a chained load) and then touches `fields - 1` further 8-byte
+    /// fields of the node — plain loads, with the final field written
+    /// back (real traversals update node state). Multi-word nodes are
+    /// what give chased blocks nonzero live times.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two (needed for the full-period
+    /// traversal), or if `node_spacing` or `fields` is zero.
+    pub fn new(base: u64, nodes: u64, node_spacing: u64, pc: u64, seed: u64, fields: u64) -> Self {
+        assert!(nodes.is_power_of_two(), "node count must be a power of two");
+        assert!(node_spacing > 0, "node spacing must be nonzero");
+        assert!(fields > 0, "nodes must have at least the pointer field");
+        assert!(
+            fields * 8 <= node_spacing,
+            "fields must fit within the node"
+        );
+        // Full period over 2^k: multiplier ≡ 1 (mod 4), odd increment.
+        let mut r = Rng::new(seed);
+        let mult = (r.next_u64() & (nodes - 1) & !3) | 5;
+        let inc = r.next_u64() | 1;
+        PointerChasePattern {
+            base,
+            nodes,
+            node_spacing,
+            idx: 0,
+            mult,
+            inc,
+            pc,
+            fields,
+            field: 0,
+            noise_pct: 0,
+        }
+    }
+
+    /// Makes the given percentage of pointer steps jump to a random node
+    /// instead of following the cycle — real traversals are data-dependent
+    /// and not perfectly repeatable, which caps how well *any* history
+    /// predictor can do on them.
+    pub fn with_noise_pct(mut self, pct: u64) -> Self {
+        self.noise_pct = pct;
+        self
+    }
+
+    /// Number of nodes in the cycle.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+}
+
+impl Pattern for PointerChasePattern {
+    fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
+        let node_addr = self.base + self.idx * self.node_spacing;
+        let (addr, kind) = if self.field == 0 {
+            (node_addr, AccessKind::ChainedLoad)
+        } else if self.field == self.fields - 1 {
+            (node_addr + self.field * 8, AccessKind::Store)
+        } else {
+            (node_addr + self.field * 8, AccessKind::Load)
+        };
+        let pc = self.pc + self.field * 4;
+        self.field += 1;
+        if self.field >= self.fields {
+            self.field = 0;
+            self.idx = if self.noise_pct > 0 && rng.chance(self.noise_pct, 100) {
+                rng.below(self.nodes)
+            } else {
+                (self.idx.wrapping_mul(self.mult).wrapping_add(self.inc)) & (self.nodes - 1)
+            };
+        }
+        RawAccess { addr, pc, kind }
+    }
+}
+
+/// Tiled traversal: sweep a tile several times, then move to the next tile
+/// (art's blocked matrix passes). Produces capacity misses whose live
+/// times are highly regular.
+#[derive(Debug, Clone)]
+pub struct BlockedPattern {
+    base: u64,
+    footprint: u64,
+    tile: u64,
+    sweeps_per_tile: u64,
+    tile_start: u64,
+    pos: u64,
+    sweep: u64,
+    stride: u64,
+    pc_base: u64,
+}
+
+impl BlockedPattern {
+    /// Creates a tiled traversal of `footprint` bytes in tiles of `tile`
+    /// bytes, each swept `sweeps_per_tile` times with `stride`-byte steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero or `tile > footprint`.
+    pub fn new(
+        base: u64,
+        footprint: u64,
+        tile: u64,
+        sweeps_per_tile: u64,
+        stride: u64,
+        pc_base: u64,
+    ) -> Self {
+        assert!(footprint > 0 && tile > 0 && sweeps_per_tile > 0 && stride > 0);
+        assert!(tile <= footprint, "tile must fit in the footprint");
+        BlockedPattern {
+            base,
+            footprint,
+            tile,
+            sweeps_per_tile,
+            tile_start: 0,
+            pos: 0,
+            sweep: 0,
+            stride,
+            pc_base,
+        }
+    }
+}
+
+impl Pattern for BlockedPattern {
+    fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
+        let addr = self.base + self.tile_start + self.pos;
+        let pc = self.pc_base + (self.sweep % 4) * 4;
+        self.pos += self.stride;
+        if self.pos >= self.tile {
+            self.pos = 0;
+            self.sweep += 1;
+            if self.sweep >= self.sweeps_per_tile {
+                self.sweep = 0;
+                self.tile_start = (self.tile_start + self.tile) % self.footprint;
+            }
+        }
+        RawAccess {
+            addr,
+            pc,
+            kind: AccessKind::Load,
+        }
+    }
+
+    fn prefetch_hint(&self) -> Option<u64> {
+        Some(self.base + self.tile_start + (self.pos + 4 * 64) % self.tile)
+    }
+}
+
+/// Round-robin walk over `ways` lines that all map to the same cache sets
+/// — a pure conflict-miss generator (twolf's and parser's hot structures
+/// aliasing in the direct-mapped L1). With `ways` greater than the L1
+/// associativity every access misses, dead times are short, and the
+/// victim cache rescues the whole pattern.
+#[derive(Debug, Clone)]
+pub struct ConflictWalkPattern {
+    base: u64,
+    alias_stride: u64,
+    ways: u64,
+    sets_used: u64,
+    set_stride: u64,
+    words_per_visit: u64,
+    step: u64,
+    word: u64,
+    pc_base: u64,
+    chained: bool,
+    randomized: bool,
+    cur_way: u64,
+}
+
+impl ConflictWalkPattern {
+    /// Creates a walk of `ways` aliasing lines (spaced `alias_stride`
+    /// apart — use the L1 cache size) across `sets_used` consecutive sets.
+    /// Each visit touches `words_per_visit` 8-byte words of the line (real
+    /// structures are used several times before the conflicting line
+    /// knocks them out — this is what makes conflict-evicted blocks die
+    /// with *short* dead times).
+    ///
+    /// `chained` makes the first access of each visit dependent
+    /// (latency-exposed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways`, `sets_used`, `alias_stride` or `words_per_visit`
+    /// is zero.
+    #[allow(clippy::too_many_arguments)] // mirrors the knobs of the modeled loop nest
+    pub fn new(
+        base: u64,
+        alias_stride: u64,
+        ways: u64,
+        sets_used: u64,
+        set_stride: u64,
+        words_per_visit: u64,
+        pc_base: u64,
+        chained: bool,
+    ) -> Self {
+        assert!(ways > 0 && sets_used > 0 && alias_stride > 0 && words_per_visit > 0);
+        ConflictWalkPattern {
+            base,
+            alias_stride,
+            ways,
+            sets_used,
+            set_stride,
+            words_per_visit,
+            step: 0,
+            word: 0,
+            pc_base,
+            chained,
+            randomized: false,
+            cur_way: 0,
+        }
+    }
+
+    /// Visits the aliasing ways in random order instead of round-robin.
+    /// The misses remain conflict misses, but the successor of any given
+    /// block becomes unpredictable — the twolf/parser behavior that defeats
+    /// address prediction (§5.2.3).
+    pub fn randomized(mut self) -> Self {
+        self.randomized = true;
+        self
+    }
+}
+
+impl Pattern for ConflictWalkPattern {
+    fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
+        if self.randomized && self.word == 0 {
+            self.cur_way = rng.below(self.ways);
+        }
+        let way = if self.randomized {
+            self.cur_way
+        } else {
+            self.step % self.ways
+        };
+        let set = (self.step / self.ways) % self.sets_used;
+        let addr =
+            self.base + way * self.alias_stride + set * self.set_stride + (self.word % 4) * 8;
+        let kind = if self.chained && self.word == 0 {
+            AccessKind::ChainedLoad
+        } else {
+            AccessKind::Load
+        };
+        // Branchy code: each word is touched from one of two code paths,
+        // so a block's per-generation PC trace varies between visits. The
+        // timekeeping predictor never sees PCs; PC-trace predictors (DBCP)
+        // lose their signatures here — the fragility §5.2.1 calls out.
+        let pc = self.pc_base + way * 16 + self.word * 4 + rng.below(4) * 256;
+        self.word += 1;
+        if self.word >= self.words_per_visit {
+            self.word = 0;
+            self.step += 1;
+        }
+        RawAccess { addr, pc, kind }
+    }
+}
+
+/// Random accesses within a small, cache-resident working set — the
+/// mostly-hitting base traffic of low-memory-stall programs (eon, vortex,
+/// sixtrack, crafty's tables).
+#[derive(Debug, Clone)]
+pub struct HotWorkingSetPattern {
+    base: u64,
+    working_set: u64,
+    pc_base: u64,
+    store_chance_pct: u64,
+    chained_chance_pct: u64,
+}
+
+impl HotWorkingSetPattern {
+    /// Creates a hot working set of `working_set` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is zero.
+    pub fn new(base: u64, working_set: u64, pc_base: u64, store_chance_pct: u64) -> Self {
+        assert!(working_set > 0, "working set must be nonzero");
+        HotWorkingSetPattern {
+            base,
+            working_set,
+            pc_base,
+            store_chance_pct,
+            chained_chance_pct: 0,
+        }
+    }
+
+    /// Makes the given percentage of loads address-dependent — random
+    /// *and* latency-exposed, the signature of parser's and twolf's
+    /// irregular structures (and the reason hardware prefetchers cannot
+    /// help them).
+    pub fn with_chained_pct(mut self, pct: u64) -> Self {
+        self.chained_chance_pct = pct;
+        self
+    }
+}
+
+impl Pattern for HotWorkingSetPattern {
+    fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
+        let off = rng.below(self.working_set) & !7;
+        let kind = if rng.chance(self.store_chance_pct, 100) {
+            AccessKind::Store
+        } else if rng.chance(self.chained_chance_pct, 100) {
+            AccessKind::ChainedLoad
+        } else {
+            AccessKind::Load
+        };
+        RawAccess {
+            addr: self.base + off,
+            pc: self.pc_base + rng.below(8) * 4,
+            kind,
+        }
+    }
+}
+
+/// Five-point stencil sweep over a 2-D grid (mgrid, applu): several
+/// simultaneous streams offset by one row, with a store per point.
+#[derive(Debug, Clone)]
+pub struct StencilPattern {
+    base: u64,
+    row_bytes: u64,
+    rows: u64,
+    elem: u64,
+    row: u64,
+    col: u64,
+    phase: usize,
+    pc_base: u64,
+}
+
+impl StencilPattern {
+    /// Creates a stencil over a `rows × (row_bytes / elem)` grid of
+    /// `elem`-byte elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `rows < 3`.
+    pub fn new(base: u64, row_bytes: u64, rows: u64, elem: u64, pc_base: u64) -> Self {
+        assert!(
+            row_bytes > 0 && elem > 0 && rows >= 3,
+            "grid must be at least 3 rows"
+        );
+        StencilPattern {
+            base,
+            row_bytes,
+            rows,
+            elem,
+            row: 1,
+            col: 0,
+            phase: 0,
+            pc_base,
+        }
+    }
+}
+
+impl Pattern for StencilPattern {
+    fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
+        // north, west, center, east, south, then store to center.
+        let (dr, dc, kind) = match self.phase {
+            0 => (-1i64, 0i64, AccessKind::Load),
+            1 => (0, -1, AccessKind::Load),
+            2 => (0, 0, AccessKind::Load),
+            3 => (0, 1, AccessKind::Load),
+            4 => (1, 0, AccessKind::Load),
+            _ => (0, 0, AccessKind::Store),
+        };
+        let r = (self.row as i64 + dr).rem_euclid(self.rows as i64) as u64;
+        let cols = self.row_bytes / self.elem;
+        let c = (self.col as i64 + dc).rem_euclid(cols as i64) as u64;
+        let addr = self.base + r * self.row_bytes + c * self.elem;
+        let pc = self.pc_base + self.phase as u64 * 4;
+        self.phase += 1;
+        if self.phase == 6 {
+            self.phase = 0;
+            self.col += 1;
+            if self.col >= cols {
+                self.col = 0;
+                self.row += 1;
+                if self.row >= self.rows - 1 {
+                    self.row = 1;
+                }
+            }
+        }
+        RawAccess { addr, pc, kind }
+    }
+
+    fn prefetch_hint(&self) -> Option<u64> {
+        let cols = self.row_bytes / self.elem;
+        let c = (self.col + 16).min(cols - 1);
+        Some(self.base + (self.row + 1) % self.rows * self.row_bytes + c * self.elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::new(1)
+    }
+
+    #[test]
+    fn stream_wraps_and_strides() {
+        let mut p = StreamPattern::new(0x1000, 256, 64, 0x400, 0);
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..5).map(|_| p.next_access(&mut r).addr).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10C0, 0x1000]);
+        assert!(p.prefetch_hint().is_some());
+    }
+
+    #[test]
+    fn stream_emits_stores() {
+        let mut p = StreamPattern::new(0, 1 << 20, 8, 0x400, 4);
+        let mut r = rng();
+        let kinds: Vec<AccessKind> = (0..8).map(|_| p.next_access(&mut r).kind).collect();
+        assert_eq!(kinds.iter().filter(|&&k| k == AccessKind::Store).count(), 2);
+    }
+
+    #[test]
+    fn triad_rotates_arrays() {
+        let mut p = TriadPattern::new([0, 1 << 24, 2 << 24], 1 << 20, 8, 0x500);
+        let mut r = rng();
+        let a1 = p.next_access(&mut r); // b[0]
+        let a2 = p.next_access(&mut r); // c[0]
+        let a3 = p.next_access(&mut r); // a[0] store
+        assert_eq!(a1.addr, 1 << 24);
+        assert_eq!(a2.addr, 2 << 24);
+        assert_eq!(a3.addr, 0);
+        assert_eq!(a3.kind, AccessKind::Store);
+        // Next triple advances by the stride.
+        assert_eq!(p.next_access(&mut r).addr, (1 << 24) + 8);
+    }
+
+    #[test]
+    fn pointer_chase_full_period() {
+        let mut p = PointerChasePattern::new(0, 64, 128, 0x600, 9, 1);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let a = p.next_access(&mut r);
+            assert_eq!(a.kind, AccessKind::ChainedLoad);
+            seen.insert(a.addr);
+        }
+        assert_eq!(
+            seen.len(),
+            64,
+            "LCG walk must visit every node before repeating"
+        );
+        // The next lap repeats the identical order.
+        let first_again = p.next_access(&mut r).addr;
+        assert_eq!(first_again, 0, "lap must restart at the initial node");
+    }
+
+    #[test]
+    fn blocked_reuses_tile_then_moves() {
+        // tile 128 bytes, stride 64: 2 accesses per sweep, 3 sweeps.
+        let mut p = BlockedPattern::new(0, 512, 128, 3, 64, 0x700);
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..8).map(|_| p.next_access(&mut r).addr).collect();
+        // Three sweeps of [0, 64], then the next tile [128, 192].
+        assert_eq!(addrs, vec![0, 64, 0, 64, 0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn conflict_walk_aliases_same_set() {
+        let l1 = 32 * 1024;
+        let mut p = ConflictWalkPattern::new(0x40, l1, 3, 2, 32, 1, 0x800, true);
+        let mut r = rng();
+        let a: Vec<RawAccess> = (0..6).map(|_| p.next_access(&mut r)).collect();
+        // First three share the low bits (same set), differ by the cache
+        // size (alias), then the next set.
+        assert_eq!(a[0].addr % l1, a[1].addr % l1);
+        assert_eq!(a[1].addr % l1, a[2].addr % l1);
+        assert_eq!(a[3].addr % l1, a[0].addr % l1 + 32);
+        assert!(a.iter().all(|x| x.kind == AccessKind::ChainedLoad));
+    }
+
+    #[test]
+    fn hot_working_set_stays_inside() {
+        let mut p = HotWorkingSetPattern::new(0x10_0000, 4096, 0x900, 20);
+        let mut r = rng();
+        for _ in 0..500 {
+            let a = p.next_access(&mut r);
+            assert!(a.addr >= 0x10_0000 && a.addr < 0x10_0000 + 4096);
+        }
+    }
+
+    #[test]
+    fn stencil_touches_neighbors() {
+        let mut p = StencilPattern::new(0, 512, 8, 8, 0xA00);
+        let mut r = rng();
+        let pts: Vec<RawAccess> = (0..6).map(|_| p.next_access(&mut r)).collect();
+        // Center at row 1, col 0: north is row 0.
+        assert_eq!(pts[0].addr, 0); // north (0,0)
+        assert_eq!(pts[2].addr, 512); // center (1,0)
+        assert_eq!(pts[4].addr, 1024); // south (2,0)
+        assert_eq!(pts[5].kind, AccessKind::Store);
+        assert!(p.prefetch_hint().is_some());
+    }
+
+    #[test]
+    fn patterns_are_deterministic() {
+        let run = || {
+            let mut p = PointerChasePattern::new(0, 256, 64, 1, 42, 1);
+            let mut r = Rng::new(5);
+            (0..100)
+                .map(|_| p.next_access(&mut r).addr)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

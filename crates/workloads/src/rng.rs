@@ -1,0 +1,130 @@
+//! Deterministic pseudo-random number generation for workload synthesis.
+//!
+//! A small splitmix64/xorshift combination: fast, seedable, and stable
+//! across platforms, so every figure regenerates bit-for-bit. (The `rand`
+//! crate is deliberately not used in the hot path.)
+
+/// A deterministic 64-bit PRNG (xorshift* seeded via splitmix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed; distinct seeds give independent
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        // Splitmix the seed so that small seeds (0, 1, 2...) diverge.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng { state: z | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        // Multiply-shift range reduction (unbiased enough for synthesis).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// True with probability `num / den`.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(3);
+        for bound in [1u64, 2, 7, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = Rng::new(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues must appear");
+    }
+
+    #[test]
+    fn unit_in_range_and_varied() {
+        let mut r = Rng::new(5);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 1000.0;
+        assert!(
+            (mean - 0.5).abs() < 0.05,
+            "mean must be near 0.5, got {mean}"
+        );
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut r = Rng::new(6);
+        let hits = (0..10_000).filter(|_| r.chance(1, 4)).count();
+        assert!((2_000..3_000).contains(&hits), "~25% expected, got {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bound_panics() {
+        Rng::new(1).below(0);
+    }
+}

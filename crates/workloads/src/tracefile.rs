@@ -1,0 +1,258 @@
+//! External trace support: drive the simulator with reference traces
+//! captured from real programs instead of the synthetic generators.
+//!
+//! The format is one event per line, whitespace-separated:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! O                 # a non-memory instruction
+//! L 7f001040 400a   # load      <hex addr> <hex pc>
+//! C 7f002000 400e   # chained (address-dependent) load
+//! S 7f001048 4012   # store
+//! P 7f003000 4016   # software prefetch
+//! ```
+//!
+//! The trace loops when exhausted, so any instruction budget can be
+//! simulated from a finite capture.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use timekeeping::{Addr, Pc};
+use tk_sim::trace::{Instr, MemRef, Workload};
+
+/// A parse failure, with the offending line number.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    /// 1-based line number of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// A workload replaying a captured reference trace, looping at the end.
+///
+/// # Examples
+///
+/// ```
+/// use tk_workloads::TraceFileWorkload;
+/// use tk_sim::trace::{Instr, Workload};
+///
+/// let text = "O\nL 1040 400\nS 1048 404\n";
+/// let mut w = TraceFileWorkload::from_reader("demo", text.as_bytes())?;
+/// assert_eq!(w.next_instr(), Instr::Op);
+/// assert!(matches!(w.next_instr(), Instr::Load(_)));
+/// assert!(matches!(w.next_instr(), Instr::Store(_)));
+/// // The trace loops.
+/// assert_eq!(w.next_instr(), Instr::Op);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceFileWorkload {
+    name: String,
+    instrs: Vec<Instr>,
+    pos: usize,
+}
+
+impl TraceFileWorkload {
+    /// Parses a trace from any reader. Note that a `&mut R` is also a
+    /// reader, so a mutable reference can be passed for readers you want
+    /// to keep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on malformed lines, unknown event kinds
+    /// or an empty trace; I/O failures are reported at the line where they
+    /// occur.
+    pub fn from_reader<R: Read>(name: &str, reader: R) -> Result<Self, ParseTraceError> {
+        let mut instrs = Vec::new();
+        for (i, line) in BufReader::new(reader).lines().enumerate() {
+            let lineno = i + 1;
+            let line = line.map_err(|e| ParseTraceError {
+                line: lineno,
+                message: format!("read error: {e}"),
+            })?;
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            instrs.push(Self::parse_line(line, lineno)?);
+        }
+        if instrs.is_empty() {
+            return Err(ParseTraceError {
+                line: 0,
+                message: "empty trace".into(),
+            });
+        }
+        Ok(TraceFileWorkload {
+            name: name.to_owned(),
+            instrs,
+            pos: 0,
+        })
+    }
+
+    /// Parses a trace file from disk; the file's stem becomes the workload
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] for unreadable or malformed files.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Self, ParseTraceError> {
+        let path = path.as_ref();
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_owned());
+        let file = std::fs::File::open(path).map_err(|e| ParseTraceError {
+            line: 0,
+            message: format!("cannot open {}: {e}", path.display()),
+        })?;
+        Self::from_reader(&name, file)
+    }
+
+    fn parse_line(line: &str, lineno: usize) -> Result<Instr, ParseTraceError> {
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("nonempty line");
+        if kind.eq_ignore_ascii_case("O") {
+            return Ok(Instr::Op);
+        }
+        let err = |message: String| ParseTraceError {
+            line: lineno,
+            message,
+        };
+        let addr = parts
+            .next()
+            .ok_or_else(|| err("missing address".into()))
+            .and_then(|t| {
+                u64::from_str_radix(t.trim_start_matches("0x"), 16)
+                    .map_err(|e| err(format!("bad address `{t}`: {e}")))
+            })?;
+        let pc = parts
+            .next()
+            .ok_or_else(|| err("missing pc".into()))
+            .and_then(|t| {
+                u64::from_str_radix(t.trim_start_matches("0x"), 16)
+                    .map_err(|e| err(format!("bad pc `{t}`: {e}")))
+            })?;
+        let mref = MemRef::new(Addr::new(addr), Pc::new(pc));
+        match kind.to_ascii_uppercase().as_str() {
+            "L" => Ok(Instr::Load(mref)),
+            "C" => Ok(Instr::ChainedLoad(mref)),
+            "S" => Ok(Instr::Store(mref)),
+            "P" => Ok(Instr::SwPrefetch(mref)),
+            other => Err(err(format!("unknown event kind `{other}`"))),
+        }
+    }
+
+    /// Number of events in one loop of the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Always false: empty traces are rejected at parse time.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl Workload for TraceFileWorkload {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.instrs[self.pos];
+        self.pos = (self.pos + 1) % self.instrs.len();
+        i
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_event_kinds() {
+        let text = "O\nL 10 1\nC 20 2\nS 30 3\nP 40 4\n";
+        let mut w = TraceFileWorkload::from_reader("t", text.as_bytes()).unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.next_instr(), Instr::Op);
+        assert!(matches!(w.next_instr(), Instr::Load(m) if m.addr.get() == 0x10));
+        assert!(matches!(w.next_instr(), Instr::ChainedLoad(m) if m.addr.get() == 0x20));
+        assert!(matches!(w.next_instr(), Instr::Store(m) if m.pc.get() == 0x3));
+        assert!(matches!(w.next_instr(), Instr::SwPrefetch(_)));
+    }
+
+    #[test]
+    fn comments_blanks_and_0x_prefixes() {
+        let text = "# header\n\n  L 0x1040 0x400  # inline comment\n";
+        let w = TraceFileWorkload::from_reader("t", text.as_bytes()).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn loops_at_end() {
+        let mut w = TraceFileWorkload::from_reader("t", "L 10 1\nS 20 2\n".as_bytes()).unwrap();
+        let a = w.next_instr();
+        let _ = w.next_instr();
+        assert_eq!(w.next_instr(), a);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let e = TraceFileWorkload::from_reader("t", "L zzz 1\n".as_bytes()).unwrap_err();
+        assert_eq!(e.line(), 1);
+        assert!(e.to_string().contains("bad address"));
+
+        let e = TraceFileWorkload::from_reader("t", "L 10\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("missing pc"));
+
+        let e = TraceFileWorkload::from_reader("t", "X 10 1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unknown event kind"));
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        let e = TraceFileWorkload::from_reader("t", "# only comments\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("empty trace"));
+    }
+
+    #[test]
+    fn from_path_round_trips() {
+        let dir = std::env::temp_dir().join("tk_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.trace");
+        std::fs::write(&path, "L 1040 400\nO\n").unwrap();
+        let w = TraceFileWorkload::from_path(&path).unwrap();
+        assert_eq!(w.name(), "mini");
+        assert_eq!(w.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn runs_through_the_simulator() {
+        use tk_sim::{run_workload, SystemConfig};
+        let mut text = String::new();
+        for i in 0..64 {
+            text.push_str(&format!("L {:x} 400\nO\nO\n", 0x10000 + i * 32));
+        }
+        let mut w = TraceFileWorkload::from_reader("loop", text.as_bytes()).unwrap();
+        let r = run_workload(&mut w, SystemConfig::base(), 10_000);
+        assert!(r.hierarchy.l1_accesses > 3_000);
+        assert!(r.ipc() > 0.0);
+    }
+}

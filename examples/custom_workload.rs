@@ -1,0 +1,130 @@
+//! Bring your own workload: implement [`Workload`] (or compose
+//! [`Pattern`]s) and measure it on the paper's machine.
+//!
+//! This example builds a blocked matrix-multiply-style reference stream
+//! from scratch, runs it against the base machine and the timekeeping
+//! prefetcher, and prints the metrics a cache architect would look at
+//! first.
+//!
+//! ```text
+//! cargo run --release -p tk-bench --example custom_workload
+//! ```
+
+use timekeeping::{Addr, CorrelationConfig, Pc};
+use tk_sim::trace::{Instr, MemRef, Workload};
+use tk_sim::{run_workload, PrefetchMode, SystemConfig};
+
+/// A hand-rolled ijk matrix multiply over 8-byte elements:
+/// `c[i][j] += a[i][k] * b[k][j]` with a row-major 256x256 layout.
+/// The `b` column walk is the cache-hostile part.
+struct MatMul {
+    n: u64,
+    i: u64,
+    j: u64,
+    k: u64,
+    phase: u8,
+    ops_left: u8,
+}
+
+impl MatMul {
+    const A: u64 = 0x1000_0000;
+    const B: u64 = 0x2000_0000;
+    const C: u64 = 0x3000_0000;
+
+    fn new(n: u64) -> Self {
+        MatMul {
+            n,
+            i: 0,
+            j: 0,
+            k: 0,
+            phase: 0,
+            ops_left: 0,
+        }
+    }
+
+    fn elem(base: u64, n: u64, row: u64, col: u64) -> Addr {
+        Addr::new(base + (row * n + col) * 8)
+    }
+}
+
+impl Workload for MatMul {
+    fn next_instr(&mut self) -> Instr {
+        if self.ops_left > 0 {
+            self.ops_left -= 1;
+            return Instr::Op; // the multiply-accumulate itself
+        }
+        let n = self.n;
+        let instr = match self.phase {
+            0 => Instr::Load(MemRef::new(
+                Self::elem(Self::A, n, self.i, self.k),
+                Pc::new(0x400),
+            )),
+            1 => Instr::Load(MemRef::new(
+                Self::elem(Self::B, n, self.k, self.j),
+                Pc::new(0x404),
+            )),
+            _ => Instr::Store(MemRef::new(
+                Self::elem(Self::C, n, self.i, self.j),
+                Pc::new(0x408),
+            )),
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.ops_left = 2;
+            self.k += 1;
+            if self.k == n {
+                self.k = 0;
+                self.j += 1;
+                if self.j == n {
+                    self.j = 0;
+                    self.i = (self.i + 1) % n;
+                }
+            }
+        }
+        instr
+    }
+
+    fn name(&self) -> &str {
+        "matmul-256"
+    }
+}
+
+fn main() {
+    const INSTS: u64 = 3_000_000;
+    let base = run_workload(&mut MatMul::new(256), SystemConfig::base(), INSTS);
+    let tk = run_workload(
+        &mut MatMul::new(256),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        INSTS,
+    );
+
+    println!("== custom workload: 256x256 ijk matrix multiply ==\n");
+    println!("base IPC            {:.3}", base.ipc());
+    println!(
+        "L1 miss rate        {:.2}%",
+        base.hierarchy.l1_miss_rate() * 100.0
+    );
+    println!("miss breakdown      {}", base.breakdown);
+    let m = &base.metrics;
+    println!(
+        "live/dead means     {:.0} / {:.0} cycles",
+        m.live.mean().unwrap_or(0.0),
+        m.dead.mean().unwrap_or(0.0)
+    );
+    println!(
+        "\nwith timekeeping prefetch: IPC {:.3} ({:+.1}%), {} fills, addr acc {}",
+        tk.ipc(),
+        tk.speedup_over(&base) * 100.0,
+        tk.hierarchy.pf_fills,
+        tk.hierarchy
+            .addr_accuracy()
+            .map_or("n/a".into(), |a| format!("{:.1}%", a * 100.0)),
+    );
+    println!(
+        "\nThe column walk of `b` misses every access (row stride 2 KB); its\n\
+         per-frame successor pattern is perfectly regular, so the correlation\n\
+         table predicts it — your workload inherits the paper's machinery for\n\
+         free by implementing the two-method `Workload` trait."
+    );
+}

@@ -1,0 +1,56 @@
+//! Victim-cache filter comparison on a conflict-heavy workload.
+//!
+//! Runs twolf (the suite's most conflict-bound program) under all four
+//! victim-cache configurations and reports IPC and fill traffic — the
+//! §4.2 experiment in miniature. The timekeeping (dead-time) filter should
+//! match or beat the unfiltered cache while admitting far fewer victims.
+//!
+//! ```text
+//! cargo run --release -p tk-bench --example victim_filter
+//! ```
+
+use tk_sim::{run_workload, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+fn main() {
+    const INSTS: u64 = 4_000_000;
+    let bench = SpecBenchmark::Twolf;
+    let base = run_workload(&mut bench.build(1), SystemConfig::base(), INSTS);
+    println!(
+        "== victim-cache filters on `{}` (base IPC {:.3}) ==\n",
+        bench,
+        base.ipc()
+    );
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>9}",
+        "configuration", "IPC", "speedup", "offered", "admitted", "VC hits"
+    );
+
+    for (name, mode) in [
+        ("unfiltered (Jouppi)", VictimMode::Unfiltered),
+        ("collins filter", VictimMode::Collins),
+        ("timekeeping (1K dead)", VictimMode::paper_dead_time()),
+        (
+            "timekeeping (4K dead)",
+            VictimMode::DeadTime { threshold: 4096 },
+        ),
+        ("adaptive dead-time", VictimMode::AdaptiveDeadTime),
+    ] {
+        let r = run_workload(&mut bench.build(1), SystemConfig::with_victim(mode), INSTS);
+        let v = r.victim.expect("victim cache configured");
+        println!(
+            "{:<24} {:>8.3} {:>9.1}% {:>10} {:>10} {:>9}",
+            name,
+            r.ipc(),
+            r.speedup_over(&base) * 100.0,
+            v.offered,
+            v.admitted,
+            v.hits,
+        );
+    }
+    println!(
+        "\nThe dead-time filter admits only blocks whose generation ended within\n\
+         ~1K cycles of their last use — the signature of a conflict eviction —\n\
+         so it keeps the unfiltered cache's hits at a fraction of the traffic."
+    );
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every report in reports/. Usage: ./gen_reports.sh [instructions]
+set -e
+cd "$(dirname "$0")"
+INSTS=${1:-8000000}
+cargo build --release -p tk-bench
+./target/release/report "$INSTS" reports
+./target/release/prefetchers "$INSTS" > reports/prefetchers.txt
+./target/release/ablation 4000000 > reports/ablation.txt
+./target/release/leakage 4000000 > reports/leakage.txt
+./target/release/multiprog 4000000 > reports/multiprog.txt
+./target/release/hwcost > reports/hwcost.txt
+echo ALL_REPORTS_DONE

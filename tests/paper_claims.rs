@@ -1,0 +1,257 @@
+//! The paper's qualitative claims, checked end-to-end at a moderate
+//! instruction budget. Each test names the section/figure it guards.
+
+use timekeeping::{CorrelationConfig, DbcpConfig, MissKind};
+use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+const INSTS: u64 = 1_500_000;
+
+fn base(b: SpecBenchmark) -> tk_sim::RunResult {
+    run_workload(&mut b.build(1), SystemConfig::base(), INSTS)
+}
+
+/// §3 / Figure 4: "Dead times are in general much longer than average
+/// live times."
+#[test]
+fn dead_times_dominate_live_times() {
+    let mut live = 0.0;
+    let mut dead = 0.0;
+    for b in [
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Twolf,
+        SpecBenchmark::Facerec,
+    ] {
+        let r = base(b);
+        live += r.metrics.live.mean().unwrap_or(0.0);
+        dead += r.metrics.dead.mean().unwrap_or(0.0);
+    }
+    assert!(
+        dead > 2.0 * live,
+        "mean dead {dead:.0} must dwarf mean live {live:.0}"
+    );
+}
+
+/// §4.1 / Figure 7: "The average reload interval for a capacity miss is
+/// one to two orders of magnitude larger than that for a conflict miss."
+#[test]
+fn capacity_reload_intervals_dwarf_conflict_reload_intervals() {
+    let r = base(SpecBenchmark::Twolf);
+    let conflict = r
+        .metrics
+        .reload_for(MissKind::Conflict)
+        .mean()
+        .expect("conflict misses");
+    let capacity = r
+        .metrics
+        .reload_for(MissKind::Capacity)
+        .mean()
+        .expect("capacity misses");
+    assert!(
+        capacity > 5.0 * conflict,
+        "capacity reload {capacity:.0} vs conflict reload {conflict:.0}"
+    );
+}
+
+/// §4.1 / Figure 8: small reload intervals predict conflict misses far
+/// better than the base rate.
+#[test]
+fn reload_interval_conflict_prediction_is_accurate() {
+    let r = base(SpecBenchmark::Twolf);
+    // Small thresholds sit on the near-perfect plateau of Figure 8; the
+    // 16 K breakpoint is exercised (with coverage) by the fig08 harness.
+    let points = r.metrics.conflict_sweep_reload(&[2_000]);
+    let acc = points[0].accuracy.expect("predictions made");
+    let bd = r.breakdown;
+    let base_rate = bd.conflict as f64 / (bd.conflict + bd.capacity).max(1) as f64;
+    assert!(
+        acc > 0.6 && acc > 1.5 * base_rate,
+        "2k-threshold accuracy {acc:.2} must beat the {base_rate:.2} base rate"
+    );
+}
+
+/// §4.1 / Figure 10: short dead times predict conflict misses accurately
+/// but with partial coverage.
+#[test]
+fn dead_time_conflict_prediction_is_accurate() {
+    let r = base(SpecBenchmark::Twolf);
+    let points = r.metrics.conflict_sweep_dead(&[1024]);
+    let acc = points[0].accuracy.expect("predictions made");
+    let cov = points[0].coverage.expect("conflicts observed");
+    let bd = r.breakdown;
+    let base_rate = bd.conflict as f64 / (bd.conflict + bd.capacity).max(1) as f64;
+    assert!(
+        acc > 0.6 && acc > 1.5 * base_rate,
+        "1K dead-time accuracy {acc:.2} must beat the {base_rate:.2} base rate"
+    );
+    assert!(cov > 0.05, "coverage must be nonzero, got {cov:.2}");
+}
+
+/// §4.2 / Figure 13: the dead-time filter keeps the unfiltered victim
+/// cache's performance at a fraction of the fill traffic.
+#[test]
+fn dead_time_filter_matches_unfiltered_ipc_with_less_traffic() {
+    let b = SpecBenchmark::Twolf;
+    let unfiltered = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_victim(VictimMode::Unfiltered),
+        INSTS,
+    );
+    let filtered = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        INSTS,
+    );
+    assert!(
+        filtered.ipc() >= unfiltered.ipc() * 0.97,
+        "filter must not lose IPC: {:.3} vs {:.3}",
+        filtered.ipc(),
+        unfiltered.ipc()
+    );
+    let (fu, ff) = (
+        unfiltered.victim.expect("vc").admitted,
+        filtered.victim.expect("vc").admitted,
+    );
+    assert!(
+        (ff as f64) < 0.7 * fu as f64,
+        "filter must cut fill traffic substantially: {ff} vs {fu}"
+    );
+}
+
+/// §5.1.2 / Figure 15: live times are regular — most are within 2x of the
+/// previous live time of the same line.
+#[test]
+fn live_times_are_regular() {
+    let r = base(SpecBenchmark::Facerec);
+    let v = &r.metrics.variability;
+    assert!(v.pairs() > 100, "need live-time pairs");
+    assert!(
+        v.fraction_within_2x() > 0.6,
+        "most live times must be < 2x previous, got {:.2}",
+        v.fraction_within_2x()
+    );
+}
+
+/// §5.1.2 / Figures 14 vs 16: the live-time dead-block predictor beats
+/// decay's coverage at comparable accuracy.
+#[test]
+fn live_time_predictor_has_better_coverage_than_decay() {
+    let r = base(SpecBenchmark::Facerec);
+    let lt = &r.metrics.live_time_predictor;
+    let decay = &r.metrics.decay_sweep;
+    let decay_high_acc = decay
+        .points()
+        .into_iter()
+        .find(|p| p.threshold == 5120)
+        .expect("paper threshold present");
+    assert!(
+        lt.coverage().unwrap_or(0.0) > decay_high_acc.coverage.unwrap_or(1.0),
+        "live-time coverage {:?} must beat decay coverage {:?}",
+        lt.coverage(),
+        decay_high_acc.coverage
+    );
+}
+
+/// §5.2.3 / Figure 19: timekeeping prefetch beats DBCP on the streaming
+/// benchmarks despite a 256x smaller table...
+#[test]
+fn timekeeping_beats_dbcp_on_swim() {
+    let b = SpecBenchmark::Swim;
+    let baseline = base(b);
+    let tk = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        INSTS,
+    );
+    let dbcp = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+        INSTS,
+    );
+    assert!(
+        tk.speedup_over(&baseline) > dbcp.speedup_over(&baseline),
+        "TK {:.3} must beat DBCP {:.3} on swim",
+        tk.ipc(),
+        dbcp.ipc()
+    );
+}
+
+/// ...while DBCP's 2 MB table wins on mcf, whose working set of histories
+/// thrashes 8 KB (§5.2.3: "this program benefits from very large address
+/// correlation tables").
+#[test]
+fn dbcp_beats_timekeeping_on_mcf() {
+    let b = SpecBenchmark::Mcf;
+    // mcf's 64K-node chase needs ~3 full laps before DBCP's confidence
+    // counters open the prefetch gate.
+    let insts = 8_000_000;
+    let baseline = run_workload(&mut b.build(1), SystemConfig::base(), insts);
+    let tk = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        insts,
+    );
+    let dbcp = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+        insts,
+    );
+    assert!(
+        dbcp.speedup_over(&baseline) > tk.speedup_over(&baseline),
+        "DBCP {:.3} must beat TK {:.3} on mcf",
+        dbcp.ipc(),
+        tk.ipc()
+    );
+}
+
+/// §5.2.2: a larger timekeeping table helps mcf specifically ("We observed
+/// better performance for mcf with our timekeeping prefetch when we used a
+/// larger address correlation table of 2MB").
+#[test]
+fn larger_correlation_table_helps_mcf() {
+    let b = SpecBenchmark::Mcf;
+    let insts = 4_000_000;
+    let small = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        insts,
+    );
+    let large = run_workload(
+        &mut b.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::LARGE_2MB)),
+        insts,
+    );
+    assert!(
+        large.ipc() > small.ipc(),
+        "2 MB TK table must beat 8 KB on mcf: {:.3} vs {:.3}",
+        large.ipc(),
+        small.ipc()
+    );
+}
+
+/// Figure 22: the two mechanisms are complementary — conflict-bound
+/// programs gain from the victim filter, capacity-bound ones from
+/// prefetch.
+#[test]
+fn mechanisms_are_complementary() {
+    let twolf_base = base(SpecBenchmark::Twolf);
+    let twolf_vc = run_workload(
+        &mut SpecBenchmark::Twolf.build(1),
+        SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        INSTS,
+    );
+    let swim_base = base(SpecBenchmark::Swim);
+    let swim_tk = run_workload(
+        &mut SpecBenchmark::Swim.build(1),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        INSTS,
+    );
+    assert!(
+        twolf_vc.speedup_over(&twolf_base) > 0.02,
+        "victim helps twolf"
+    );
+    assert!(
+        swim_tk.speedup_over(&swim_base) > 0.02,
+        "prefetch helps swim"
+    );
+}
