@@ -4,145 +4,165 @@
 //! tracker and the histograms. These bound the simulator's hot loops and
 //! document the (software) cost of each modeled structure.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use timekeeping::{
-    CacheGeometry, CorrelationConfig, CorrelationTable, Cycle, Dbcp, DbcpConfig, EvictCause,
-    FullyAssocShadow, GenerationTracker, GlobalTicker, Histogram, LineAddr, Pc,
-    TimekeepingPrefetcher, VictimCache,
-};
+//!
+//! Criterion is not available in offline environments, so these benches
+//! compile only with `--features criterion-benches` (after restoring the
+//! `criterion` dev-dependency).
 
-fn bench_correlation_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("correlation_table");
-    g.bench_function("update", |b| {
-        let mut t = CorrelationTable::new(CorrelationConfig::PAPER_8KB);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            t.update(
-                black_box(i),
-                black_box(i + 1),
-                i & 1023,
-                i + 2,
-                (i % 32) as u8,
-                (i % 32) as u8,
-            );
-        });
-    });
-    g.bench_function("lookup_hit", |b| {
-        let mut t = CorrelationTable::new(CorrelationConfig::PAPER_8KB);
-        for i in 0..2048u64 {
-            t.update(i, i + 1, i & 1023, i + 2, 3, 6);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 2048;
-            black_box(t.lookup(i, i + 1, i & 1023));
-        });
-    });
-    g.finish();
-}
+#[cfg(feature = "criterion-benches")]
+mod suite {
+    use criterion::{black_box, criterion_group, Criterion};
+    use timekeeping::{
+        CacheGeometry, CorrelationConfig, CorrelationTable, Cycle, Dbcp, DbcpConfig, EvictCause,
+        FullyAssocShadow, GenerationTracker, GlobalTicker, Histogram, LineAddr, Pc,
+        TimekeepingPrefetcher, VictimCache,
+    };
 
-fn bench_dbcp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dbcp");
-    g.bench_function("access", |b| {
-        let mut d = Dbcp::new(DbcpConfig::PAPER_2MB, 1024);
-        d.on_replace(0, LineAddr::new(1));
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(d.on_access(0, Pc::new(0x400 + (i % 8) * 4)));
+    fn bench_correlation_table(c: &mut Criterion) {
+        let mut g = c.benchmark_group("correlation_table");
+        g.bench_function("update", |b| {
+            let mut t = CorrelationTable::new(CorrelationConfig::PAPER_8KB);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                t.update(
+                    black_box(i),
+                    black_box(i + 1),
+                    i & 1023,
+                    i + 2,
+                    (i % 32) as u8,
+                    (i % 32) as u8,
+                );
+            });
         });
-    });
-    g.bench_function("replace", |b| {
-        let mut d = Dbcp::new(DbcpConfig::PAPER_2MB, 1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            d.on_replace((i % 1024) as usize, LineAddr::new(black_box(i)));
-        });
-    });
-    g.finish();
-}
-
-fn bench_shadow(c: &mut Criterion) {
-    c.bench_function("shadow_classify_miss", |b| {
-        let mut s = FullyAssocShadow::new(1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(s.classify_miss(LineAddr::new(black_box(i % 4096))));
-        });
-    });
-}
-
-fn bench_victim_cache(c: &mut Criterion) {
-    c.bench_function("victim_cache_take_insert", |b| {
-        let mut vc = VictimCache::paper_default();
-        for i in 0..32u64 {
-            vc.insert(LineAddr::new(i));
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let line = LineAddr::new(i % 64);
-            if !vc.take(black_box(line)) {
-                vc.insert(line);
+        g.bench_function("lookup_hit", |b| {
+            let mut t = CorrelationTable::new(CorrelationConfig::PAPER_8KB);
+            for i in 0..2048u64 {
+                t.update(i, i + 1, i & 1023, i + 2, 3, 6);
             }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 2048;
+                black_box(t.lookup(i, i + 1, i & 1023));
+            });
         });
-    });
-}
+        g.finish();
+    }
 
-fn bench_generation_tracker(c: &mut Criterion) {
-    c.bench_function("tracker_generation_cycle", |b| {
-        let mut t = GenerationTracker::new(1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let frame = (i % 1024) as usize;
-            let now = Cycle::new(i * 10);
-            t.evict(frame, now, EvictCause::Demand);
-            t.fill(frame, LineAddr::new(black_box(i % 8192)), now);
-            t.hit(frame, now + 3);
+    fn bench_dbcp(c: &mut Criterion) {
+        let mut g = c.benchmark_group("dbcp");
+        g.bench_function("access", |b| {
+            let mut d = Dbcp::new(DbcpConfig::PAPER_2MB, 1024);
+            d.on_replace(0, LineAddr::new(1));
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(d.on_access(0, Pc::new(0x400 + (i % 8) * 4)));
+            });
         });
-    });
-}
-
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record", |b| {
-        let mut h = Histogram::paper_x100();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(997);
-            h.record(black_box(i % 20_000));
+        g.bench_function("replace", |b| {
+            let mut d = Dbcp::new(DbcpConfig::PAPER_2MB, 1024);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                d.on_replace((i % 1024) as usize, LineAddr::new(black_box(i)));
+            });
         });
-    });
-}
+        g.finish();
+    }
 
-fn bench_prefetcher(c: &mut Criterion) {
-    c.bench_function("tk_prefetcher_fill_and_tick", |b| {
-        let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
-        let mut p =
-            TimekeepingPrefetcher::new(geom, CorrelationConfig::PAPER_8KB, GlobalTicker::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let frame = (i % 1024) as usize;
-            p.on_fill(frame, frame as u64, black_box(i / 1024));
-            if i.is_multiple_of(1024) {
-                black_box(p.tick());
+    fn bench_shadow(c: &mut Criterion) {
+        c.bench_function("shadow_classify_miss", |b| {
+            let mut s = FullyAssocShadow::new(1024);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(s.classify_miss(LineAddr::new(black_box(i % 4096))));
+            });
+        });
+    }
+
+    fn bench_victim_cache(c: &mut Criterion) {
+        c.bench_function("victim_cache_take_insert", |b| {
+            let mut vc = VictimCache::paper_default();
+            for i in 0..32u64 {
+                vc.insert(LineAddr::new(i));
             }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let line = LineAddr::new(i % 64);
+                if !vc.take(black_box(line)) {
+                    vc.insert(line);
+                }
+            });
         });
-    });
+    }
+
+    fn bench_generation_tracker(c: &mut Criterion) {
+        c.bench_function("tracker_generation_cycle", |b| {
+            let mut t = GenerationTracker::new(1024);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let frame = (i % 1024) as usize;
+                let now = Cycle::new(i * 10);
+                t.evict(frame, now, EvictCause::Demand);
+                t.fill(frame, LineAddr::new(black_box(i % 8192)), now);
+                t.hit(frame, now + 3);
+            });
+        });
+    }
+
+    fn bench_histogram(c: &mut Criterion) {
+        c.bench_function("histogram_record", |b| {
+            let mut h = Histogram::paper_x100();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(997);
+                h.record(black_box(i % 20_000));
+            });
+        });
+    }
+
+    fn bench_prefetcher(c: &mut Criterion) {
+        c.bench_function("tk_prefetcher_fill_and_tick", |b| {
+            let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+            let mut p =
+                TimekeepingPrefetcher::new(geom, CorrelationConfig::PAPER_8KB, GlobalTicker::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let frame = (i % 1024) as usize;
+                p.on_fill(frame, frame as u64, black_box(i / 1024));
+                if i.is_multiple_of(1024) {
+                    black_box(p.tick());
+                }
+            });
+        });
+    }
+
+    criterion_group!(
+        benches,
+        bench_correlation_table,
+        bench_dbcp,
+        bench_shadow,
+        bench_victim_cache,
+        bench_generation_tracker,
+        bench_histogram,
+        bench_prefetcher,
+    );
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_correlation_table,
-    bench_dbcp,
-    bench_shadow,
-    bench_victim_cache,
-    bench_generation_tracker,
-    bench_histogram,
-    bench_prefetcher,
-);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    suite::run()
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

@@ -4,46 +4,66 @@
 //! every figure run multiplies these costs by 26 benchmarks × several
 //! configurations.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use timekeeping::CorrelationConfig;
-use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
-use tk_workloads::SpecBenchmark;
+//!
+//! Criterion is not available in offline environments, so these benches
+//! compile only with `--features criterion-benches` (after restoring the
+//! `criterion` dev-dependency).
 
-const INSTS: u64 = 200_000;
+#[cfg(feature = "criterion-benches")]
+mod suite {
+    use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+    use timekeeping::CorrelationConfig;
+    use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+    use tk_workloads::SpecBenchmark;
 
-fn bench_simulation_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.throughput(Throughput::Elements(INSTS));
-    g.sample_size(10);
+    const INSTS: u64 = 200_000;
 
-    let cases: [(&str, SpecBenchmark, SystemConfig); 4] = [
-        ("eon_base", SpecBenchmark::Eon, SystemConfig::base()),
-        ("gcc_base", SpecBenchmark::Gcc, SystemConfig::base()),
-        (
-            "twolf_victim",
-            SpecBenchmark::Twolf,
-            SystemConfig::with_victim(VictimMode::paper_dead_time()),
-        ),
-        (
-            "swim_tk_prefetch",
-            SpecBenchmark::Swim,
-            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
-        ),
-    ];
-    for (name, bench, cfg) in cases {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(bench, cfg),
-            |b, &(w, cfg)| {
-                b.iter(|| {
-                    let mut workload = w.build(1);
-                    black_box(run_workload(&mut workload, cfg, INSTS).ipc())
-                });
-            },
-        );
+    fn bench_simulation_throughput(c: &mut Criterion) {
+        let mut g = c.benchmark_group("simulate");
+        g.throughput(Throughput::Elements(INSTS));
+        g.sample_size(10);
+
+        let cases: [(&str, SpecBenchmark, SystemConfig); 4] = [
+            ("eon_base", SpecBenchmark::Eon, SystemConfig::base()),
+            ("gcc_base", SpecBenchmark::Gcc, SystemConfig::base()),
+            (
+                "twolf_victim",
+                SpecBenchmark::Twolf,
+                SystemConfig::with_victim(VictimMode::paper_dead_time()),
+            ),
+            (
+                "swim_tk_prefetch",
+                SpecBenchmark::Swim,
+                SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+            ),
+        ];
+        for (name, bench, cfg) in cases {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(name),
+                &(bench, cfg),
+                |b, &(w, cfg)| {
+                    b.iter(|| {
+                        let mut workload = w.build(1);
+                        black_box(run_workload(&mut workload, cfg, INSTS).ipc())
+                    });
+                },
+            );
+        }
+        g.finish();
     }
-    g.finish();
+
+    criterion_group!(benches, bench_simulation_throughput);
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(benches, bench_simulation_throughput);
-criterion_main!(benches);
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    suite::run()
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {}

@@ -7,24 +7,49 @@
 //! 3. the live-time safety factor (×2 in §5.1.2),
 //! 4. the global tick period (512 cycles).
 //!
-//! Usage: `ablation [instructions]` (default 4,000,000).
+//! Usage: `ablation [instructions] [--jobs J] ...` (default 4,000,000).
 
 use timekeeping::CorrelationConfig;
+use tk_bench::engine::{run_jobs, Job};
 use tk_bench::fmt::{pct, TextTable};
 use tk_bench::runner::{run_bench, FigureOpts};
 use tk_sim::{PrefetchMode, SystemConfig, VictimMode};
 use tk_workloads::SpecBenchmark;
 
+/// Fans a benchmark x config grid across the worker pool so the serial
+/// `run_bench` calls that render each table afterwards hit the memo.
+fn warm(benches: &[SpecBenchmark], cfgs: &[SystemConfig], opts: FigureOpts) {
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|&b| {
+            cfgs.iter()
+                .map(move |&c| Job::new(b, c, opts.seed, opts.instructions))
+        })
+        .collect();
+    let _ = run_jobs(&jobs, opts.jobs);
+}
+
 fn main() {
-    let mut opts = FigureOpts::from_args();
-    if std::env::args().nth(1).is_none() {
-        opts.instructions = 4_000_000;
-    }
+    let opts = FigureOpts::from_args().or_default_budget(4_000_000);
 
     // ---- 1. Dead-time threshold of the victim filter --------------------
     println!("Ablation 1: victim-filter dead-time threshold (twolf, vpr)\n");
     let mut t = TextTable::new(vec!["threshold", "twolf", "vpr", "admit(twolf)"]);
-    for threshold in [512u64, 1024, 2048, 4096, 16384, u64::MAX / 2, u64::MAX / 3] {
+    let thresholds = [512u64, 1024, 2048, 4096, 16384, u64::MAX / 2, u64::MAX / 3];
+    let mode_of = |threshold: u64| {
+        if threshold == u64::MAX / 2 {
+            VictimMode::Unfiltered
+        } else if threshold == u64::MAX / 3 {
+            VictimMode::AdaptiveDeadTime
+        } else {
+            VictimMode::DeadTime { threshold }
+        }
+    };
+    let cfgs: Vec<SystemConfig> = std::iter::once(SystemConfig::base())
+        .chain(thresholds.iter().map(|&t| SystemConfig::with_victim(mode_of(t))))
+        .collect();
+    warm(&[SpecBenchmark::Twolf, SpecBenchmark::Vpr], &cfgs, opts);
+    for threshold in thresholds {
         let mut cells = vec![if threshold == u64::MAX / 2 {
             "unfiltered".to_owned()
         } else if threshold == u64::MAX / 3 {
@@ -35,14 +60,7 @@ fn main() {
         let mut admit = String::new();
         for b in [SpecBenchmark::Twolf, SpecBenchmark::Vpr] {
             let base = run_bench(b, SystemConfig::base(), opts);
-            let mode = if threshold == u64::MAX / 2 {
-                VictimMode::Unfiltered
-            } else if threshold == u64::MAX / 3 {
-                VictimMode::AdaptiveDeadTime
-            } else {
-                VictimMode::DeadTime { threshold }
-            };
-            let r = run_bench(b, SystemConfig::with_victim(mode), opts);
+            let r = run_bench(b, SystemConfig::with_victim(mode_of(threshold)), opts);
             cells.push(pct(r.speedup_over(&base)));
             if b == SpecBenchmark::Twolf {
                 admit = r
@@ -87,6 +105,18 @@ fn main() {
         ),
         ("2MB  m=15 n=1", CorrelationConfig::LARGE_2MB),
     ];
+    let cfgs: Vec<SystemConfig> = std::iter::once(SystemConfig::base())
+        .chain(
+            tables
+                .iter()
+                .map(|(_, c)| SystemConfig::with_prefetch(PrefetchMode::Timekeeping(*c))),
+        )
+        .collect();
+    warm(
+        &[SpecBenchmark::Swim, SpecBenchmark::Ammp, SpecBenchmark::Mcf],
+        &cfgs,
+        opts,
+    );
     for (name, cfg) in tables {
         let mut cells = vec![name.to_owned()];
         for b in [SpecBenchmark::Swim, SpecBenchmark::Ammp, SpecBenchmark::Mcf] {
@@ -110,7 +140,21 @@ fn main() {
     // ---- 3. Global tick period ------------------------------------------
     println!("Ablation 3: global tick period (swim, ammp with TK prefetch)\n");
     let mut t = TextTable::new(vec!["tick", "swim", "ammp"]);
-    for tick in [128u64, 256, 512, 1024, 2048] {
+    let ticks = [128u64, 256, 512, 1024, 2048];
+    let cfgs: Vec<SystemConfig> = ticks
+        .iter()
+        .flat_map(|&tick| {
+            let mut base_cfg = SystemConfig::base();
+            base_cfg.machine.tick_period = tick;
+            let mut tk_cfg = SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+                CorrelationConfig::PAPER_8KB,
+            ));
+            tk_cfg.machine.tick_period = tick;
+            [base_cfg, tk_cfg]
+        })
+        .collect();
+    warm(&[SpecBenchmark::Swim, SpecBenchmark::Ammp], &cfgs, opts);
+    for tick in ticks {
         let mut cells = vec![tick.to_string()];
         for b in [SpecBenchmark::Swim, SpecBenchmark::Ammp] {
             let mut base_cfg = SystemConfig::base();
@@ -142,6 +186,14 @@ fn main() {
         ("2-way", 2, VictimMode::None),
         ("4-way", 4, VictimMode::None),
     ];
+    let cfgs: Vec<SystemConfig> = std::iter::once(SystemConfig::base())
+        .chain(configs.iter().map(|&(_, assoc, victim)| {
+            let mut cfg = SystemConfig::with_victim(victim);
+            cfg.machine.l1d = mk_geom(assoc);
+            cfg
+        }))
+        .collect();
+    warm(&[SpecBenchmark::Twolf, SpecBenchmark::Crafty], &cfgs, opts);
     for (name, assoc, victim) in configs {
         let mut cells = vec![name.to_owned()];
         for b in [SpecBenchmark::Twolf, SpecBenchmark::Crafty] {
@@ -163,12 +215,20 @@ fn main() {
     // ---- 5. Slack-aware prefetch issue (§5.2.2 aside) --------------------
     println!("Ablation 5: slack-aware prefetch issue on bursty art\n");
     let mut t = TextTable::new(vec!["policy", "speedup", "issued", "discarded"]);
-    let base = run_bench(SpecBenchmark::Art, SystemConfig::base(), opts);
-    for (name, slack) in [("eager", false), ("slack-aware", true)] {
+    let slack_cfg = |slack: bool| {
         let mut cfg =
             SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB));
         cfg.slack_prefetch = slack;
-        let r = run_bench(SpecBenchmark::Art, cfg, opts);
+        cfg
+    };
+    warm(
+        &[SpecBenchmark::Art],
+        &[SystemConfig::base(), slack_cfg(false), slack_cfg(true)],
+        opts,
+    );
+    let base = run_bench(SpecBenchmark::Art, SystemConfig::base(), opts);
+    for (name, slack) in [("eager", false), ("slack-aware", true)] {
+        let r = run_bench(SpecBenchmark::Art, slack_cfg(slack), opts);
         t.row(vec![
             name.to_owned(),
             pct(r.speedup_over(&base)),

@@ -1,33 +1,45 @@
 //! Calibration sweep: base vs ideal vs mechanisms for every benchmark.
+//!
+//! Usage: `calibrate [instructions] [--jobs J] ...` (default 2,000,000).
 use timekeeping::{CorrelationConfig, DbcpConfig, MissKind};
-use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_bench::engine::{run_jobs, Job};
+use tk_bench::runner::{run_bench, FigureOpts};
+use tk_sim::{PrefetchMode, SystemConfig, VictimMode};
 use tk_workloads::SpecBenchmark;
 
 fn main() {
-    let insts: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000_000);
+    let opts = FigureOpts::from_args().or_default_budget(2_000_000);
+    let configs = [
+        SystemConfig::base(),
+        SystemConfig::ideal(),
+        SystemConfig::with_victim(VictimMode::Unfiltered),
+        SystemConfig::with_victim(VictimMode::Collins),
+        SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+    ];
+    let jobs: Vec<Job> = SpecBenchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            configs
+                .iter()
+                .map(move |&c| Job::new(b, c, opts.seed, opts.instructions))
+        })
+        .collect();
+    let _ = run_jobs(&jobs, opts.jobs);
     println!(
         "{:10} {:>6} {:>6} {:>7} {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5} | miss%  conf% cold% cap%",
         "bench", "base", "ideal", "pot%", "vcU%", "vcC%", "vcD%", "tk%", "dbcp%", ""
     );
     for b in SpecBenchmark::ALL {
-        let run = |cfg: SystemConfig| {
-            let mut w = b.build(1);
-            run_workload(&mut w, cfg, insts)
-        };
-        let base = run(SystemConfig::base());
-        let ideal = run(SystemConfig::ideal());
-        let vc_u = run(SystemConfig::with_victim(VictimMode::Unfiltered));
-        let vc_c = run(SystemConfig::with_victim(VictimMode::Collins));
-        let vc_d = run(SystemConfig::with_victim(VictimMode::paper_dead_time()));
-        let tk = run(SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
-            CorrelationConfig::PAPER_8KB,
-        )));
-        let dbcp = run(SystemConfig::with_prefetch(PrefetchMode::Dbcp(
-            DbcpConfig::PAPER_2MB,
-        )));
+        let run = |cfg: SystemConfig| run_bench(b, cfg, opts);
+        let base = run(configs[0]);
+        let ideal = run(configs[1]);
+        let vc_u = run(configs[2]);
+        let vc_c = run(configs[3]);
+        let vc_d = run(configs[4]);
+        let tk = run(configs[5]);
+        let dbcp = run(configs[6]);
         let bd = base.breakdown;
         println!("{:10} {:6.3} {:6.3} {:6.1}% {:5.1}% {:5.1}% {:5.1}% | {:4.1}% {:4.1}% | {:5.2}% {:4.0}/{:.0}/{:.0}",
             b.name(), base.ipc(), ideal.ipc(), ideal.speedup_over(&base)*100.0,

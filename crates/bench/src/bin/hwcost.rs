@@ -6,6 +6,10 @@ use timekeeping::hwcost;
 use timekeeping::{CacheGeometry, CorrelationConfig, DbcpConfig, MarkovConfig, StrideConfig};
 
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!("error: hwcost takes no arguments (got `{arg}`)");
+        std::process::exit(2);
+    }
     let l1 = CacheGeometry::new(32 * 1024, 1, 32).expect("paper L1");
 
     println!("Derived hardware storage budgets (44-bit physical addresses)\n");

@@ -6,21 +6,34 @@
 //! the L1 spends switched off (the leakage saving), the decay-induced
 //! misses, and the IPC cost — the classic decay trade-off curve.
 //!
-//! Usage: `leakage [instructions]` (default 4,000,000).
+//! Usage: `leakage [instructions] [--jobs J] ...` (default 4,000,000).
 
+use tk_bench::engine::{run_jobs, Job};
 use tk_bench::fmt::{pct, TextTable};
 use tk_bench::runner::{run_bench, FigureOpts};
 use tk_sim::SystemConfig;
 use tk_workloads::SpecBenchmark;
 
+const BENCHES: [SpecBenchmark; 3] = [SpecBenchmark::Gcc, SpecBenchmark::Eon, SpecBenchmark::Ammp];
+const INTERVALS: [u64; 5] = [1_024, 4_096, 16_384, 65_536, 262_144];
+
 fn main() {
-    let mut opts = FigureOpts::from_args();
-    if std::env::args().nth(1).is_none() {
-        opts.instructions = 4_000_000;
-    }
+    let opts = FigureOpts::from_args().or_default_budget(4_000_000);
     let frames = 1024u64;
 
-    for bench in [SpecBenchmark::Gcc, SpecBenchmark::Eon, SpecBenchmark::Ammp] {
+    // Fan the whole bench x interval grid across the pool; the loop below
+    // then reads everything out of the memo.
+    let grid: Vec<Job> = BENCHES
+        .iter()
+        .flat_map(|&b| {
+            std::iter::once(SystemConfig::base())
+                .chain(INTERVALS.iter().map(|&i| SystemConfig::with_decay(i)))
+                .map(move |c| Job::new(b, c, opts.seed, opts.instructions))
+        })
+        .collect();
+    let _ = run_jobs(&grid, opts.jobs);
+
+    for bench in BENCHES {
         let base = run_bench(bench, SystemConfig::base(), opts);
         println!(
             "== cache decay on `{bench}` (base IPC {:.3}; Wood dead-fraction estimate {}) ==\n",
@@ -35,7 +48,7 @@ fn main() {
             "decay misses",
             "IPC cost",
         ]);
-        for interval in [1_024u64, 4_096, 16_384, 65_536, 262_144] {
+        for interval in INTERVALS {
             let r = run_bench(bench, SystemConfig::with_decay(interval), opts);
             let off_fraction =
                 r.hierarchy.decay_off_cycles as f64 / (frames * r.core.cycles.max(1)) as f64;

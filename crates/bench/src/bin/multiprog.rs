@@ -3,7 +3,7 @@
 //! reshapes generational behavior, and whether the timekeeping victim
 //! filter still holds up under context switching.
 //!
-//! Usage: `multiprog [instructions]` (default 4,000,000).
+//! Usage: `multiprog [instructions] [--jobs J] ...` (default 4,000,000).
 
 use tk_bench::fmt::{pct, TextTable};
 use tk_bench::runner::FigureOpts;
@@ -15,10 +15,7 @@ fn pair(a: SpecBenchmark, b: SpecBenchmark, quantum: u64) -> Multiprogrammed {
 }
 
 fn main() {
-    let mut opts = FigureOpts::from_args();
-    if std::env::args().nth(1).is_none() {
-        opts.instructions = 4_000_000;
-    }
+    let opts = FigureOpts::from_args().or_default_budget(4_000_000);
     let insts = opts.instructions;
 
     println!("Multiprogramming and generational behavior (Mendelson [11])\n");

@@ -6,6 +6,7 @@
 //! Usage: `prefetchers [instructions]` (default 8,000,000).
 
 use timekeeping::{CorrelationConfig, DbcpConfig, MarkovConfig, StrideConfig};
+use tk_bench::engine::{run_jobs, Job};
 use tk_bench::fmt::{geomean_improvement, pct, TextTable};
 use tk_bench::runner::{run_bench, FigureOpts};
 use tk_sim::{PrefetchMode, SystemConfig};
@@ -29,6 +30,17 @@ fn main() {
         "markov 1MB",
         "stride",
     ]);
+    // Fan the whole base + four-mode grid across the worker pool up front;
+    // the per-cell run_bench calls below then hit the memo.
+    let grid: Vec<Job> = SpecBenchmark::ALL
+        .iter()
+        .flat_map(|&b| {
+            std::iter::once(SystemConfig::base())
+                .chain(modes.iter().map(|(_, m)| SystemConfig::with_prefetch(*m)))
+                .map(move |c| Job::new(b, c, opts.seed, opts.instructions))
+        })
+        .collect();
+    let _ = run_jobs(&grid, opts.jobs);
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for &b in &SpecBenchmark::ALL {
         let base = run_bench(b, SystemConfig::base(), opts);

@@ -4,12 +4,10 @@ use tk_bench::runner::{run_bench, FigureOpts};
 use tk_sim::{PrefetchMode, SystemConfig};
 use tk_workloads::SpecBenchmark;
 fn main() {
-    let mut opts = FigureOpts::from_args();
-    if std::env::args().nth(1).is_none() {
-        opts.instructions = 8_000_000;
-    }
-    for name in std::env::args().skip(2) {
+    let (opts, names) = FigureOpts::from_args_with_positionals();
+    for name in names {
         let Some(b) = SpecBenchmark::from_name(&name) else {
+            eprintln!("unknown benchmark `{name}` (skipped)");
             continue;
         };
         let base = run_bench(b, SystemConfig::base(), opts);

@@ -1,20 +1,24 @@
 //! Regenerates every figure report into `reports/` in one run — the
 //! portable equivalent of `gen_reports.sh` for the table/figure set.
 //!
-//! Usage: `report [instructions] [output-dir]`
-//! (defaults: 8,000,000 and `reports/`).
+//! Usage: `report [instructions] [output-dir] [--jobs J] [--cache] ...`
+//! (defaults: 8,000,000 and `reports/`). The engine memoizes per job
+//! tuple, so the many figures sharing the base configuration each cost
+//! one simulation per benchmark for the whole invocation.
 
 use std::fs;
 use std::path::PathBuf;
 
-use tk_bench::{figures, FigureOpts};
+use tk_bench::{engine, figures, FigureOpts};
 
 fn main() {
-    let opts = FigureOpts::from_args();
-    let dir: PathBuf = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "reports".into())
-        .into();
+    let (opts, positionals) = FigureOpts::from_args_with_positionals();
+    let mut positionals = positionals.into_iter();
+    let dir: PathBuf = positionals.next().unwrap_or_else(|| "reports".into()).into();
+    if let Some(extra) = positionals.next() {
+        eprintln!("error: unexpected argument `{extra}`");
+        std::process::exit(2);
+    }
     fs::create_dir_all(&dir).expect("create output directory");
 
     type Job = Box<dyn Fn(FigureOpts) -> String>;
@@ -41,12 +45,16 @@ fn main() {
 
     for (name, job) in jobs {
         eprintln!(
-            "generating {name} ({} instructions/run)...",
-            opts.instructions
+            "generating {name} ({} instructions/run, {} workers)...",
+            opts.instructions, opts.jobs
         );
         let text = job(opts);
         let path = dir.join(format!("{name}.txt"));
         fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     }
-    eprintln!("done: reports in {}", dir.display());
+    let (memo_hits, disk_hits, sims) = engine::memo_stats();
+    eprintln!(
+        "done: reports in {} ({sims} simulations run, {memo_hits} memo hits, {disk_hits} disk hits)",
+        dir.display()
+    );
 }

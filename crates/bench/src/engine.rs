@@ -1,0 +1,312 @@
+//! The parallel experiment engine.
+//!
+//! Every figure of the paper's evaluation is a pile of *independent*
+//! simulations — `(benchmark, configuration, seed, instruction budget)`
+//! tuples whose results are pure functions of the tuple. The engine
+//! exploits that three ways:
+//!
+//! * **Fan-out** — [`run_jobs`] spreads a batch of [`Job`]s across a
+//!   fixed-size pool of worker threads (`--jobs N`), returning results in
+//!   the order the jobs were submitted. Because each simulation is
+//!   deterministic and shares nothing, `--jobs 1` and `--jobs N` produce
+//!   bit-identical results.
+//! * **Memoization** — a process-wide cache keyed by the job tuple. The
+//!   `report` binary regenerates a dozen figures, most of which re-run
+//!   `SystemConfig::base()` over the whole suite; with the memo each
+//!   distinct tuple is simulated at most once per invocation.
+//!   [`memo_stats`] exposes the hit/run counters.
+//! * **Disk cache** (optional, [`set_disk_cache`]) — completed
+//!   [`RunResult`]s are persisted as JSON snapshots (default under
+//!   `reports/.cache/`), so re-running a report binary with the same
+//!   budgets skips straight to rendering. Files carry the full job key
+//!   and are ignored (and rewritten) on any mismatch. Delete the
+//!   directory to invalidate.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use timekeeping::snapshot::{Json, Snapshot};
+use tk_sim::{run_workload, RunResult, SystemConfig};
+use tk_workloads::SpecBenchmark;
+
+/// One independent simulation: the result is a pure function of this
+/// tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// The benchmark to run.
+    pub bench: SpecBenchmark,
+    /// The system configuration.
+    pub cfg: SystemConfig,
+    /// Workload seed.
+    pub seed: u64,
+    /// Instruction budget.
+    pub instructions: u64,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(bench: SpecBenchmark, cfg: SystemConfig, seed: u64, instructions: u64) -> Self {
+        Job {
+            bench,
+            cfg,
+            seed,
+            instructions,
+        }
+    }
+
+    /// A canonical, process-independent description of the tuple — the
+    /// disk-cache key. (The in-process memo hashes the tuple directly;
+    /// `std`'s hasher is randomized per process, so filenames use an FNV
+    /// hash of this string instead.)
+    pub fn cache_key(&self) -> String {
+        format!(
+            "bench={};{};seed={};instructions={}",
+            self.bench.name(),
+            self.cfg.cache_key(),
+            self.seed,
+            self.instructions,
+        )
+    }
+
+    /// The simulation itself (no caching).
+    fn simulate(&self) -> RunResult {
+        let mut w = self.bench.build(self.seed);
+        run_workload(&mut w, self.cfg, self.instructions)
+    }
+}
+
+/// 64-bit FNV-1a — a stable, dependency-free hash for cache filenames.
+fn fnv1a64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Engine {
+    memo: Mutex<HashMap<Job, Arc<RunResult>>>,
+    disk_dir: Mutex<Option<PathBuf>>,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    sims_run: AtomicU64,
+}
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine {
+        memo: Mutex::new(HashMap::new()),
+        disk_dir: Mutex::new(None),
+        memo_hits: AtomicU64::new(0),
+        disk_hits: AtomicU64::new(0),
+        sims_run: AtomicU64::new(0),
+    })
+}
+
+/// Enables (`Some(dir)`) or disables (`None`) the on-disk result cache.
+///
+/// Results are written as one JSON file per job under `dir`, which is
+/// created on first write. Clear the cache by deleting the directory
+/// (e.g. `rm -rf reports/.cache`).
+pub fn set_disk_cache(dir: Option<PathBuf>) {
+    *engine().disk_dir.lock().expect("cache poisoned") = dir;
+}
+
+/// Engine counters since process start (or the last [`reset_stats`]):
+/// `(memo_hits, disk_hits, simulations_run)`.
+///
+/// Every job submitted to [`run_jobs`] lands in exactly one bucket, so
+/// `memo_hits + disk_hits + simulations_run` equals the total number of
+/// jobs submitted — and `simulations_run` equals the number of *distinct*
+/// job tuples that had to be simulated.
+pub fn memo_stats() -> (u64, u64, u64) {
+    let e = engine();
+    (
+        e.memo_hits.load(Ordering::Relaxed),
+        e.disk_hits.load(Ordering::Relaxed),
+        e.sims_run.load(Ordering::Relaxed),
+    )
+}
+
+/// Clears the in-process memo and zeroes the counters (test hook; the
+/// disk cache is left untouched).
+pub fn reset_stats() {
+    let e = engine();
+    e.memo.lock().expect("memo poisoned").clear();
+    e.memo_hits.store(0, Ordering::Relaxed);
+    e.disk_hits.store(0, Ordering::Relaxed);
+    e.sims_run.store(0, Ordering::Relaxed);
+}
+
+/// The default worker-pool size: one worker per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn disk_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.json", fnv1a64(key)))
+}
+
+/// Loads a result from the disk cache, verifying the embedded key.
+fn disk_load(dir: &Path, key: &str) -> Option<RunResult> {
+    let text = std::fs::read_to_string(disk_path(dir, key)).ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.get("key").ok()?.as_str().ok()? != key {
+        return None; // FNV collision or stale format: re-simulate.
+    }
+    RunResult::from_json(v.get("result").ok()?).ok()
+}
+
+/// Persists a result to the disk cache (best-effort: I/O errors only
+/// cost future cache hits).
+fn disk_store(dir: &Path, key: &str, result: &RunResult) {
+    let doc = Json::obj([
+        ("key", Json::Str(key.to_owned())),
+        ("result", result.to_json()),
+    ]);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(disk_path(dir, key), doc.render());
+    }
+}
+
+/// Runs a batch of jobs on a pool of `workers` threads, returning the
+/// results in submission order.
+///
+/// Duplicate tuples within the batch — and tuples already resolved
+/// earlier in the process — are simulated once and shared. `workers` is
+/// clamped to at least 1; `workers == 1` runs the batch serially on the
+/// calling thread and produces bit-identical results to any other pool
+/// size.
+pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
+    let e = engine();
+    let disk_dir = e.disk_dir.lock().expect("cache poisoned").clone();
+
+    // Resolve what we can from the memo and disk; collect the distinct
+    // tuples that actually need simulating.
+    let mut pending: Vec<Job> = Vec::new();
+    {
+        let mut memo = e.memo.lock().expect("memo poisoned");
+        for job in jobs {
+            if memo.contains_key(job) {
+                e.memo_hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if let Some(r) = disk_dir
+                .as_deref()
+                .and_then(|d| disk_load(d, &job.cache_key()))
+            {
+                e.disk_hits.fetch_add(1, Ordering::Relaxed);
+                memo.insert(*job, Arc::new(r));
+                continue;
+            }
+            if pending.contains(job) {
+                // Duplicate within this batch: one simulation covers it.
+                e.memo_hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            pending.push(*job);
+        }
+    }
+
+    // Fan the pending simulations across the pool. Each slot is written
+    // by exactly one worker; job order in `pending` fixes which result
+    // goes where, so the pool size cannot affect the output.
+    let results: Vec<Mutex<Option<RunResult>>> =
+        pending.iter().map(|_| Mutex::new(None)).collect();
+    let workers = workers.max(1).min(pending.len().max(1));
+    if workers <= 1 {
+        for (job, slot) in pending.iter().zip(&results) {
+            *slot.lock().expect("slot poisoned") = Some(job.simulate());
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = pending.get(i) else { break };
+                    let r = job.simulate();
+                    *results[i].lock().expect("slot poisoned") = Some(r);
+                });
+            }
+        });
+    }
+    e.sims_run
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+
+    // Publish the new results, then answer the batch in order.
+    {
+        let mut memo = e.memo.lock().expect("memo poisoned");
+        for (job, slot) in pending.iter().zip(results) {
+            let r = slot.into_inner().expect("slot poisoned").expect("worker ran");
+            if let Some(dir) = disk_dir.as_deref() {
+                disk_store(dir, &job.cache_key(), &r);
+            }
+            memo.insert(*job, Arc::new(r));
+        }
+    }
+    let memo = e.memo.lock().expect("memo poisoned");
+    jobs.iter()
+        .map(|job| Arc::clone(memo.get(job).expect("job resolved")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::FigureOpts;
+
+    fn quick_job(cfg: SystemConfig) -> Job {
+        Job::new(SpecBenchmark::Gzip, cfg, 1, FigureOpts::quick().instructions)
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_tuples() {
+        let a = quick_job(SystemConfig::base());
+        let mut b = a;
+        b.seed = 2;
+        let mut c = a;
+        c.instructions += 1;
+        let d = quick_job(SystemConfig::ideal());
+        let keys = [a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key()];
+        for (i, k) in keys.iter().enumerate() {
+            for other in &keys[i + 1..] {
+                assert_ne!(k, other);
+            }
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips_and_rejects_mismatches() {
+        let dir = std::env::temp_dir().join(format!("tk-engine-test-{}", std::process::id()));
+        let job = quick_job(SystemConfig::base());
+        let r = job.simulate();
+        disk_store(&dir, &job.cache_key(), &r);
+        assert_eq!(disk_load(&dir, &job.cache_key()), Some(r.clone()));
+        // A different key must not read another key's file, even if we
+        // force the same path by writing it there.
+        std::fs::write(disk_path(&dir, "other-key"), {
+            Json::obj([
+                ("key", Json::Str(job.cache_key())),
+                ("result", r.to_json()),
+            ])
+            .render()
+        })
+        .unwrap();
+        assert_eq!(disk_load(&dir, "other-key"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

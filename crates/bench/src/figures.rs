@@ -9,8 +9,23 @@ use timekeeping::{CorrelationConfig, DbcpConfig, MissKind, Timeliness};
 use tk_sim::{MachineConfig, PrefetchMode, SystemConfig, VictimMode};
 use tk_workloads::SpecBenchmark;
 
+use crate::engine::{self, Job};
 use crate::fmt::{bar, geomean_improvement, histogram_chart, pct, pct_opt, TextTable};
 use crate::runner::{run_bench, run_suite, suite_metrics, FigureOpts};
+
+/// Fans the cross product `benches × cfgs` across the worker pool,
+/// populating the engine's memo so the figure's (deterministic, serial)
+/// rendering loop below runs entirely on cache hits.
+fn warm(benches: &[SpecBenchmark], cfgs: &[SystemConfig], opts: FigureOpts) {
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|&b| {
+            cfgs.iter()
+                .map(move |&c| Job::new(b, c, opts.seed, opts.instructions))
+        })
+        .collect();
+    let _ = engine::run_jobs(&jobs, opts.jobs);
+}
 
 /// Table 1: the simulated machine configuration.
 pub fn table1() -> String {
@@ -81,6 +96,11 @@ pub fn table1() -> String {
 /// Figure 1: potential IPC improvement if all L1D conflict and capacity
 /// misses were eliminated, per benchmark, sorted ascending.
 pub fn fig01(opts: FigureOpts) -> String {
+    warm(
+        &SpecBenchmark::ALL,
+        &[SystemConfig::base(), SystemConfig::ideal()],
+        opts,
+    );
     let mut rows: Vec<(SpecBenchmark, f64)> = SpecBenchmark::ALL
         .iter()
         .map(|&b| {
@@ -273,6 +293,16 @@ pub fn fig11(opts: FigureOpts) -> String {
 /// Figure 13: victim-cache IPC improvement and fill traffic for the three
 /// admission policies.
 pub fn fig13(opts: FigureOpts) -> String {
+    warm(
+        &SpecBenchmark::ALL,
+        &[
+            SystemConfig::base(),
+            SystemConfig::with_victim(VictimMode::Unfiltered),
+            SystemConfig::with_victim(VictimMode::Collins),
+            SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        ],
+        opts,
+    );
     let mut t = TextTable::new(vec![
         "benchmark",
         "unfiltered",
@@ -358,6 +388,7 @@ pub fn fig14(opts: FigureOpts) -> String {
 
 /// Figure 15: live-time variability for the eight best performers.
 pub fn fig15(opts: FigureOpts) -> String {
+    warm(&SpecBenchmark::BEST_PERFORMERS, &[SystemConfig::base()], opts);
     let mut t = TextTable::new(vec![
         "benchmark",
         "|diff| < 16 cyc",
@@ -412,6 +443,15 @@ pub fn fig16(opts: FigureOpts) -> String {
 /// Figure 19: IPC improvement of timekeeping prefetch (8 KB) vs DBCP
 /// (2 MB).
 pub fn fig19(opts: FigureOpts) -> String {
+    warm(
+        &SpecBenchmark::ALL,
+        &[
+            SystemConfig::base(),
+            SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        ],
+        opts,
+    );
     let mut t = TextTable::new(vec!["benchmark", "dbcp 2MB", "timekeeping 8KB"]);
     let mut tk_imps = Vec::new();
     let mut dbcp_imps = Vec::new();
@@ -448,11 +488,14 @@ pub fn fig19(opts: FigureOpts) -> String {
 /// Figure 20: address-prediction accuracy and coverage of the 8 KB table
 /// for the eight best performers (predict-only runs).
 pub fn fig20(opts: FigureOpts) -> String {
+    let cfg = SystemConfig::builder()
+        .prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB))
+        .predict_only()
+        .build()
+        .expect("predict-only with a prefetcher is valid");
+    warm(&SpecBenchmark::BEST_PERFORMERS, &[cfg], opts);
     let mut t = TextTable::new(vec!["benchmark", "accuracy", "coverage"]);
     for &b in &SpecBenchmark::BEST_PERFORMERS {
-        let mut cfg =
-            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB));
-        cfg.predict_only = true;
         let r = run_bench(b, cfg, opts);
         let acc = r.hierarchy.addr_accuracy();
         let cov = r.correlation.and_then(|c| c.hit_rate());
@@ -470,6 +513,13 @@ pub fn fig20(opts: FigureOpts) -> String {
 pub fn fig21(opts: FigureOpts) -> String {
     let mut out =
         String::from("Figure 21: timeliness of timekeeping prefetches (best performers)\n\n");
+    warm(
+        &SpecBenchmark::BEST_PERFORMERS,
+        &[SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+            CorrelationConfig::PAPER_8KB,
+        ))],
+        opts,
+    );
     for correct in [true, false] {
         let mut t = TextTable::new(vec![
             "benchmark",
@@ -510,6 +560,16 @@ pub fn fig21(opts: FigureOpts) -> String {
 
 /// Figure 22: Venn-style summary of which mechanism helps each benchmark.
 pub fn fig22(opts: FigureOpts) -> String {
+    warm(
+        &SpecBenchmark::ALL,
+        &[
+            SystemConfig::base(),
+            SystemConfig::ideal(),
+            SystemConfig::with_victim(VictimMode::paper_dead_time()),
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        ],
+        opts,
+    );
     let mut few_stalls = Vec::new();
     let mut victim_helped = Vec::new();
     let mut prefetch_helped = Vec::new();

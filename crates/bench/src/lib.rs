@@ -16,8 +16,10 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod figures;
 pub mod fmt;
 pub mod runner;
 
+pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};
 pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};

@@ -1,8 +1,31 @@
 //! Experiment plumbing shared by all figure binaries.
+//!
+//! [`FigureOpts`] carries the knobs every binary understands and
+//! [`FigureOpts::from_args`] parses the shared command line:
+//!
+//! ```text
+//! <binary> [INSTRUCTIONS] [--instructions N] [--seed S] [--quick]
+//!          [--jobs J] [--cache[=DIR]] [--no-cache]
+//! ```
+//!
+//! A bare leading number is accepted as the instruction budget for
+//! backward compatibility with the original positional interface.
+//! Unrecognized arguments are an error (exit code 2), not silently
+//! ignored. Binaries with their own positional operands (`report`'s
+//! output directory, `quickcheck`'s benchmark names) use
+//! [`FigureOpts::from_args_with_positionals`].
+//!
+//! The run helpers ([`run_bench`], [`run_suite`], [`suite_metrics`]) sit
+//! on the [`engine`](crate::engine): results are memoized per job tuple
+//! and suites fan out across `opts.jobs` workers.
+
+use std::sync::Arc;
 
 use timekeeping::MetricsCollector;
-use tk_sim::{run_workload, RunResult, SystemConfig};
+use tk_sim::{RunResult, SystemConfig};
 use tk_workloads::SpecBenchmark;
+
+use crate::engine::{self, Job};
 
 /// Options common to every figure run.
 #[derive(Debug, Clone, Copy)]
@@ -11,6 +34,13 @@ pub struct FigureOpts {
     pub instructions: u64,
     /// Workload seed (figures are bit-reproducible per seed).
     pub seed: u64,
+    /// Worker threads for independent simulations (default: all cores).
+    pub jobs: usize,
+    /// Whether the budget came from the command line (as opposed to the
+    /// default) — lets binaries with a non-standard default budget
+    /// ([`or_default_budget`](Self::or_default_budget)) respect an
+    /// explicit `--instructions`.
+    pub instructions_explicit: bool,
 }
 
 impl FigureOpts {
@@ -18,31 +48,184 @@ impl FigureOpts {
     /// every workload's footprint to be traversed several times.
     pub const DEFAULT_INSTRUCTIONS: u64 = 8_000_000;
 
+    /// The reduced `--quick` budget.
+    pub const QUICK_INSTRUCTIONS: u64 = 300_000;
+
+    /// The default disk-cache location of `--cache`.
+    pub const DEFAULT_CACHE_DIR: &'static str = "reports/.cache";
+
     /// Creates options with the default budget.
     pub fn new() -> Self {
         FigureOpts {
             instructions: Self::DEFAULT_INSTRUCTIONS,
             seed: 1,
+            jobs: engine::default_jobs(),
+            instructions_explicit: false,
         }
     }
 
-    /// Parses `[instructions]` from the process arguments, e.g.
-    /// `fig01 2000000`, falling back to the default.
-    pub fn from_args() -> Self {
-        let mut opts = Self::new();
-        if let Some(n) = std::env::args().nth(1).and_then(|a| a.parse::<u64>().ok()) {
-            opts.instructions = n;
+    /// Replaces the budget with `n` unless one was given explicitly on
+    /// the command line (for binaries whose default differs from
+    /// [`DEFAULT_INSTRUCTIONS`](Self::DEFAULT_INSTRUCTIONS)).
+    pub fn or_default_budget(mut self, n: u64) -> Self {
+        if !self.instructions_explicit {
+            self.instructions = n;
         }
-        opts
+        self
     }
 
     /// A reduced budget for smoke tests.
     pub fn quick() -> Self {
         FigureOpts {
-            instructions: 300_000,
-            seed: 1,
+            instructions: Self::QUICK_INSTRUCTIONS,
+            instructions_explicit: true,
+            ..Self::new()
         }
     }
+
+    /// Parses the shared flags from the process arguments. Leftover
+    /// positional operands (beyond the legacy leading instruction count)
+    /// are an error; binaries that take positionals use
+    /// [`from_args_with_positionals`](Self::from_args_with_positionals).
+    ///
+    /// On a parse error, prints the error and usage to stderr and exits
+    /// with status 2.
+    pub fn from_args() -> Self {
+        let (opts, positionals) = Self::from_args_with_positionals();
+        if let Some(p) = positionals.first() {
+            usage_error(&format!("unexpected argument `{p}`"));
+        }
+        opts
+    }
+
+    /// Like [`from_args`](Self::from_args), but hands back non-flag
+    /// positional operands for the binary to interpret.
+    pub fn from_args_with_positionals() -> (Self, Vec<String>) {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(parsed) => parsed,
+            Err(e) => usage_error(&e),
+        }
+    }
+
+    /// The pure parser behind [`from_args`](Self::from_args).
+    ///
+    /// A bare number in first position is the instruction budget (the
+    /// legacy interface). `--cache` flags apply their side effect
+    /// (enabling or disabling the engine's disk cache) immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument on unknown flags,
+    /// missing or malformed flag values.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<(Self, Vec<String>), String> {
+        let mut opts = Self::new();
+        let mut positionals = Vec::new();
+        let mut args = args.peekable();
+        let mut first = true;
+
+        fn value_of(
+            flag: &str,
+            inline: Option<&str>,
+            args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+        ) -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_owned()),
+                None => args.next().ok_or_else(|| format!("{flag} needs a value")),
+            }
+        }
+
+        fn parse_u64(flag: &str, v: &str) -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} needs an unsigned integer, got `{v}`"))
+        }
+
+        while let Some(arg) = args.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            match flag {
+                "--instructions" => {
+                    let v = value_of(flag, inline, &mut args)?;
+                    opts.instructions = parse_u64(flag, &v)?;
+                    opts.instructions_explicit = true;
+                }
+                "--seed" => {
+                    let v = value_of(flag, inline, &mut args)?;
+                    opts.seed = parse_u64(flag, &v)?;
+                }
+                "--jobs" => {
+                    let v = value_of(flag, inline, &mut args)?;
+                    let n = parse_u64(flag, &v)?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".to_owned());
+                    }
+                    opts.jobs = n as usize;
+                }
+                "--quick" => {
+                    opts.instructions = Self::QUICK_INSTRUCTIONS;
+                    opts.instructions_explicit = true;
+                }
+                "--cache" => {
+                    let dir = inline.map(str::to_owned).unwrap_or_else(|| {
+                        Self::DEFAULT_CACHE_DIR.to_owned()
+                    });
+                    engine::set_disk_cache(Some(dir.into()));
+                }
+                "--no-cache" => engine::set_disk_cache(None),
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                _ if flag.starts_with('-') => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                _ => {
+                    // Legacy positional interface: a bare leading number
+                    // is the instruction budget.
+                    if first && inline.is_none() {
+                        if let Ok(n) = arg.parse::<u64>() {
+                            opts.instructions = n;
+                            opts.instructions_explicit = true;
+                            first = false;
+                            continue;
+                        }
+                    }
+                    positionals.push(arg);
+                }
+            }
+            first = false;
+        }
+        Ok((opts, positionals))
+    }
+}
+
+/// The shared usage text.
+fn usage() -> String {
+    format!(
+        "usage: <binary> [INSTRUCTIONS] [options]\n\
+         \n\
+         options:\n\
+         \x20 --instructions N   instruction budget per run (default {})\n\
+         \x20 --seed S           workload seed (default 1)\n\
+         \x20 --quick            reduced {}-instruction budget for smoke runs\n\
+         \x20 --jobs J           worker threads (default: all cores)\n\
+         \x20 --cache[=DIR]      persist results as JSON (default dir {})\n\
+         \x20 --no-cache         disable the disk cache\n\
+         \x20 --help             this text\n\
+         \n\
+         A bare leading number is accepted as INSTRUCTIONS (legacy\n\
+         interface). Clear the disk cache with: rm -rf {}",
+        FigureOpts::DEFAULT_INSTRUCTIONS,
+        FigureOpts::QUICK_INSTRUCTIONS,
+        FigureOpts::DEFAULT_CACHE_DIR,
+        FigureOpts::DEFAULT_CACHE_DIR,
+    )
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", usage());
+    std::process::exit(2);
 }
 
 impl Default for FigureOpts {
@@ -51,25 +234,28 @@ impl Default for FigureOpts {
     }
 }
 
-/// Runs one benchmark under one configuration.
-pub fn run_bench(bench: SpecBenchmark, cfg: SystemConfig, opts: FigureOpts) -> RunResult {
-    let mut w = bench.build(opts.seed);
-    run_workload(&mut w, cfg, opts.instructions)
+/// Runs one benchmark under one configuration (memoized).
+pub fn run_bench(bench: SpecBenchmark, cfg: SystemConfig, opts: FigureOpts) -> Arc<RunResult> {
+    engine::run_jobs(&[Job::new(bench, cfg, opts.seed, opts.instructions)], 1)
+        .pop()
+        .expect("one job in, one result out")
 }
 
-/// Runs every benchmark under `cfg`, returning per-benchmark results in
-/// suite order.
-pub fn run_suite(cfg: SystemConfig, opts: FigureOpts) -> Vec<(SpecBenchmark, RunResult)> {
-    SpecBenchmark::ALL
+/// Runs every benchmark under `cfg` on `opts.jobs` workers, returning
+/// per-benchmark results in suite order.
+pub fn run_suite(cfg: SystemConfig, opts: FigureOpts) -> Vec<(SpecBenchmark, Arc<RunResult>)> {
+    let jobs: Vec<Job> = SpecBenchmark::ALL
         .iter()
-        .map(|&b| (b, run_bench(b, cfg, opts)))
-        .collect()
+        .map(|&b| Job::new(b, cfg, opts.seed, opts.instructions))
+        .collect();
+    let results = engine::run_jobs(&jobs, opts.jobs);
+    SpecBenchmark::ALL.iter().copied().zip(results).collect()
 }
 
 /// Runs the base machine on every benchmark and merges the timekeeping
 /// metrics into one suite-wide collector (the "all SPEC2000" aggregate of
 /// Figures 4, 5, 7–10 and 14).
-pub fn suite_metrics(opts: FigureOpts) -> (Vec<(SpecBenchmark, RunResult)>, MetricsCollector) {
+pub fn suite_metrics(opts: FigureOpts) -> (Vec<(SpecBenchmark, Arc<RunResult>)>, MetricsCollector) {
     let results = run_suite(SystemConfig::base(), opts);
     let mut merged = MetricsCollector::new();
     for (_, r) in &results {
@@ -83,10 +269,61 @@ mod tests {
     use super::*;
     use tk_sim::SystemConfig;
 
+    fn parse(args: &[&str]) -> Result<(FigureOpts, Vec<String>), String> {
+        FigureOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn opts_default_and_quick() {
         assert_eq!(FigureOpts::new().instructions, 8_000_000);
         assert!(FigureOpts::quick().instructions < 1_000_000);
+        assert!(FigureOpts::new().jobs >= 1);
+    }
+
+    #[test]
+    fn parses_flags_in_any_form() {
+        let (o, pos) = parse(&["--instructions", "123", "--seed=7", "--jobs", "3"]).unwrap();
+        assert_eq!(o.instructions, 123);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 3);
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn quick_flag_sets_budget() {
+        let (o, _) = parse(&["--quick"]).unwrap();
+        assert_eq!(o.instructions, FigureOpts::QUICK_INSTRUCTIONS);
+        // Explicit budget after --quick wins (last flag wins).
+        let (o, _) = parse(&["--quick", "--instructions", "42"]).unwrap();
+        assert_eq!(o.instructions, 42);
+    }
+
+    #[test]
+    fn legacy_positional_budget_still_works() {
+        let (o, pos) = parse(&["2000000"]).unwrap();
+        assert_eq!(o.instructions, 2_000_000);
+        assert!(pos.is_empty());
+        // ...but only in first position; later numbers are positionals.
+        let (o, pos) = parse(&["--seed", "2", "5"]).unwrap();
+        assert_eq!(o.instructions, FigureOpts::DEFAULT_INSTRUCTIONS);
+        assert_eq!(o.seed, 2);
+        assert_eq!(pos, vec!["5"]);
+    }
+
+    #[test]
+    fn positionals_are_returned() {
+        let (o, pos) = parse(&["1000", "out-dir", "gzip"]).unwrap();
+        assert_eq!(o.instructions, 1000);
+        assert_eq!(pos, vec!["out-dir", "gzip"]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--instructions"]).is_err());
+        assert!(parse(&["--instructions", "many"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--seed=-1"]).is_err());
     }
 
     #[test]

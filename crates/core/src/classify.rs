@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::addr::LineAddr;
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 
 /// Hill's three-way miss classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +95,24 @@ impl MissBreakdown {
         } else {
             self.count(kind) as f64 / t as f64
         }
+    }
+}
+
+impl Snapshot for MissBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cold", Json::U64(self.cold)),
+            ("conflict", Json::U64(self.conflict)),
+            ("capacity", Json::U64(self.capacity)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(MissBreakdown {
+            cold: v.u64_field("cold")?,
+            conflict: v.u64_field("conflict")?,
+            capacity: v.u64_field("capacity")?,
+        })
     }
 }
 

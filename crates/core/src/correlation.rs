@@ -19,12 +19,13 @@
 //! 2 MB DBCP.
 
 use crate::addr::CacheGeometry;
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 
 /// Geometry of the correlation table.
 ///
 /// The paper's evaluated configuration is `m = 7` tag-sum bits, `n = 1`
 /// index bit, 8 ways: 256 sets × 8 ways = 2048 entries ≈ 8 KB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CorrelationConfig {
     /// Bits taken from the truncated sum of the two history tags.
     pub m_bits: u32,
@@ -128,6 +129,26 @@ impl CorrelationStats {
     /// Hit rate of the predictor — the paper's "coverage" in Figure 20.
     pub fn hit_rate(&self) -> Option<f64> {
         (self.lookups > 0).then(|| self.hits as f64 / self.lookups as f64)
+    }
+}
+
+impl Snapshot for CorrelationStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lookups", Json::U64(self.lookups)),
+            ("hits", Json::U64(self.hits)),
+            ("updates", Json::U64(self.updates)),
+            ("allocations", Json::U64(self.allocations)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(CorrelationStats {
+            lookups: v.u64_field("lookups")?,
+            hits: v.u64_field("hits")?,
+            updates: v.u64_field("updates")?,
+            allocations: v.u64_field("allocations")?,
+        })
     }
 }
 

@@ -23,9 +23,10 @@
 use std::collections::HashMap;
 
 use crate::addr::{LineAddr, Pc};
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 
 /// Geometry of the DBCP history table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DbcpConfig {
     /// log2 of the number of table sets.
     pub set_bits: u32,
@@ -111,6 +112,26 @@ pub struct DbcpStats {
     pub prefetches: u64,
     /// Table updates at generation end.
     pub updates: u64,
+}
+
+impl Snapshot for DbcpStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lookups", Json::U64(self.lookups)),
+            ("predictions", Json::U64(self.predictions)),
+            ("prefetches", Json::U64(self.prefetches)),
+            ("updates", Json::U64(self.updates)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(DbcpStats {
+            lookups: v.u64_field("lookups")?,
+            predictions: v.u64_field("predictions")?,
+            prefetches: v.u64_field("prefetches")?,
+            updates: v.u64_field("updates")?,
+        })
+    }
 }
 
 /// The DBCP predictor + prefetcher.

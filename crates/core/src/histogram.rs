@@ -6,6 +6,7 @@
 //! bucket. [`Histogram`] reproduces exactly that shape and adds the summary
 //! queries the paper quotes ("58% of live times are 100 cycles or less").
 
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 use std::fmt;
 
 /// A fixed-width bucketed histogram with an overflow tail.
@@ -250,6 +251,40 @@ impl Histogram {
     /// True if no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.total == 0
+    }
+}
+
+impl Snapshot for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bucket_width", Json::U64(self.bucket_width)),
+            ("buckets", Json::u64_array(self.buckets.iter().copied())),
+            ("overflow", Json::U64(self.overflow)),
+            ("total", Json::U64(self.total)),
+            ("sum", Json::u128_string(self.sum)),
+            ("min", Json::U64(self.min)),
+            ("max", Json::U64(self.max)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        let buckets = v.u64_vec_field("buckets")?;
+        if buckets.is_empty() {
+            return Err(SnapshotError::new("histogram needs at least one bucket"));
+        }
+        let bucket_width = v.u64_field("bucket_width")?;
+        if bucket_width == 0 {
+            return Err(SnapshotError::new("histogram bucket width must be nonzero"));
+        }
+        Ok(Histogram {
+            bucket_width,
+            buckets,
+            overflow: v.u64_field("overflow")?,
+            total: v.u64_field("total")?,
+            sum: v.get("sum")?.as_u128()?,
+            min: v.u64_field("min")?,
+            max: v.u64_field("max")?,
+        })
     }
 }
 

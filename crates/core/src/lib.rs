@@ -75,6 +75,7 @@ pub mod markov;
 pub mod metrics;
 pub mod predictor;
 pub mod prefetch;
+pub mod snapshot;
 pub mod stride;
 pub mod time;
 pub mod victim;
@@ -95,6 +96,7 @@ pub use predictor::{
 pub use prefetch::{
     PrefetchQueue, PrefetchRequest, TimekeepingPrefetcher, Timeliness, TimelinessStats,
 };
+pub use snapshot::{Json, Snapshot, SnapshotError};
 pub use stride::{StrideConfig, StridePrefetcher, StrideStats};
 pub use time::{CoarseCounter, Cycle, GlobalTicker};
 pub use victim::{

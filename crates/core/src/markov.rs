@@ -13,7 +13,7 @@
 use crate::addr::LineAddr;
 
 /// Geometry of the Markov transition table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MarkovConfig {
     /// log2 of the number of table sets.
     pub set_bits: u32,

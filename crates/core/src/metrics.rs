@@ -12,13 +12,14 @@ use crate::generation::{GenerationRecord, LineHistory};
 use crate::histogram::Histogram;
 use crate::predictor::accuracy::{AccuracyCoverage, SweepPoint};
 use crate::predictor::dead_block::{DecayDeadBlockSweep, LiveTimeDeadBlockPredictor};
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 
 /// Live-time variability statistics (Figure 15).
 ///
 /// Tracks, per completed generation with history, the absolute difference
 /// and the log2-bucketed ratio between the generation's live time and its
 /// line's previous live time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LiveTimeVariability {
     /// |live − previous live| in 16-cycle buckets (the paper profiles with
     /// counters of 16-cycle resolution).
@@ -116,8 +117,26 @@ impl Default for LiveTimeVariability {
     }
 }
 
+impl Snapshot for LiveTimeVariability {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("abs_diff", self.abs_diff.to_json()),
+            ("ratio_log2", Json::u64_array(self.ratio_log2)),
+            ("pairs", Json::U64(self.pairs)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(LiveTimeVariability {
+            abs_diff: v.snapshot_field("abs_diff")?,
+            ratio_log2: v.u64_arr_field("ratio_log2")?,
+            pairs: v.u64_field("pairs")?,
+        })
+    }
+}
+
 /// Collects every distribution and predictor score the evaluation needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsCollector {
     /// Live-time distribution, ×100-cycle buckets (Figure 4 top).
     pub live: Histogram,
@@ -341,6 +360,59 @@ impl MetricsCollector {
 impl Default for MetricsCollector {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Snapshot for MetricsCollector {
+    fn to_json(&self) -> Json {
+        fn by_kind(hs: &[Histogram; 3]) -> Json {
+            Json::Arr(hs.iter().map(Snapshot::to_json).collect())
+        }
+        Json::obj([
+            ("live", self.live.to_json()),
+            ("dead", self.dead.to_json()),
+            ("access_interval", self.access_interval.to_json()),
+            ("reload", self.reload.to_json()),
+            ("reload_by_kind", by_kind(&self.reload_by_kind)),
+            ("dead_by_kind", by_kind(&self.dead_by_kind)),
+            ("live_by_kind", by_kind(&self.live_by_kind)),
+            ("zero_live_score", self.zero_live_score.to_json()),
+            ("decay_sweep", self.decay_sweep.to_json()),
+            ("live_time_predictor", self.live_time_predictor.to_json()),
+            ("variability", self.variability.to_json()),
+            ("generations", Json::U64(self.generations)),
+            (
+                "zero_live_generations",
+                Json::U64(self.zero_live_generations),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        fn by_kind(v: &Json, key: &str) -> Result<[Histogram; 3], SnapshotError> {
+            let items = v.get(key)?.as_arr()?;
+            let hs: Vec<Histogram> = items
+                .iter()
+                .map(Histogram::from_json)
+                .collect::<Result<_, _>>()?;
+            hs.try_into()
+                .map_err(|_| SnapshotError::new(format!("field `{key}` needs 3 histograms")))
+        }
+        Ok(MetricsCollector {
+            live: v.snapshot_field("live")?,
+            dead: v.snapshot_field("dead")?,
+            access_interval: v.snapshot_field("access_interval")?,
+            reload: v.snapshot_field("reload")?,
+            reload_by_kind: by_kind(v, "reload_by_kind")?,
+            dead_by_kind: by_kind(v, "dead_by_kind")?,
+            live_by_kind: by_kind(v, "live_by_kind")?,
+            zero_live_score: v.snapshot_field("zero_live_score")?,
+            decay_sweep: v.snapshot_field("decay_sweep")?,
+            live_time_predictor: v.snapshot_field("live_time_predictor")?,
+            variability: v.snapshot_field("variability")?,
+            generations: v.u64_field("generations")?,
+            zero_live_generations: v.u64_field("zero_live_generations")?,
+        })
     }
 }
 

@@ -12,6 +12,7 @@
 //! [`AccuracyCoverage`] tracks the raw counters from which either flavor
 //! can be derived.
 
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 use std::fmt;
 
 /// Raw prediction-outcome counters.
@@ -102,6 +103,26 @@ impl AccuracyCoverage {
         self.false_pos += other.false_pos;
         self.missed_pos += other.missed_pos;
         self.true_neg += other.true_neg;
+    }
+}
+
+impl Snapshot for AccuracyCoverage {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("true_pos", Json::U64(self.true_pos)),
+            ("false_pos", Json::U64(self.false_pos)),
+            ("missed_pos", Json::U64(self.missed_pos)),
+            ("true_neg", Json::U64(self.true_neg)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(AccuracyCoverage {
+            true_pos: v.u64_field("true_pos")?,
+            false_pos: v.u64_field("false_pos")?,
+            missed_pos: v.u64_field("missed_pos")?,
+            true_neg: v.u64_field("true_neg")?,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 
 use crate::generation::GenerationRecord;
 use crate::predictor::accuracy::SweepPoint;
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 
 /// Post-hoc evaluation of the decay (idle-time threshold) dead-block
 /// predictor across a set of thresholds.
@@ -53,7 +54,7 @@ use crate::predictor::accuracy::SweepPoint;
 ///     assert_eq!(p.accuracy, Some(1.0));
 /// }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecayDeadBlockSweep {
     thresholds: Vec<u64>,
     fired_correct: Vec<u64>,
@@ -146,6 +147,41 @@ impl DecayDeadBlockSweep {
     }
 }
 
+impl Snapshot for DecayDeadBlockSweep {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("thresholds", Json::u64_array(self.thresholds.iter().copied())),
+            (
+                "fired_correct",
+                Json::u64_array(self.fired_correct.iter().copied()),
+            ),
+            (
+                "fired_wrong",
+                Json::u64_array(self.fired_wrong.iter().copied()),
+            ),
+            ("generations", Json::U64(self.generations)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        let thresholds = v.u64_vec_field("thresholds")?;
+        if thresholds.is_empty() {
+            return Err(SnapshotError::new("sweep needs at least one threshold"));
+        }
+        let fired_correct = v.u64_vec_field("fired_correct")?;
+        let fired_wrong = v.u64_vec_field("fired_wrong")?;
+        if fired_correct.len() != thresholds.len() || fired_wrong.len() != thresholds.len() {
+            return Err(SnapshotError::new("sweep counter length mismatch"));
+        }
+        Ok(DecayDeadBlockSweep {
+            thresholds,
+            fired_correct,
+            fired_wrong,
+            generations: v.u64_field("generations")?,
+        })
+    }
+}
+
 /// The live-time dead-block predictor: a block is declared dead at
 /// `factor ×` its previous live time after the start of its generation.
 ///
@@ -170,7 +206,7 @@ impl DecayDeadBlockSweep {
 /// // Previous live time 100 -> predicted dead at cycle 200 of the generation.
 /// assert_eq!(p.prediction_point(100), 200);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LiveTimeDeadBlockPredictor {
     factor: u64,
     correct: u64,
@@ -268,6 +304,32 @@ impl LiveTimeDeadBlockPredictor {
         self.wrong += other.wrong;
         self.uncovered += other.uncovered;
         self.no_history += other.no_history;
+    }
+}
+
+impl Snapshot for LiveTimeDeadBlockPredictor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("factor", Json::U64(self.factor)),
+            ("correct", Json::U64(self.correct)),
+            ("wrong", Json::U64(self.wrong)),
+            ("uncovered", Json::U64(self.uncovered)),
+            ("no_history", Json::U64(self.no_history)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        let factor = v.u64_field("factor")?;
+        if factor == 0 {
+            return Err(SnapshotError::new("live-time factor must be nonzero"));
+        }
+        Ok(LiveTimeDeadBlockPredictor {
+            factor,
+            correct: v.u64_field("correct")?,
+            wrong: v.u64_field("wrong")?,
+            uncovered: v.u64_field("uncovered")?,
+            no_history: v.u64_field("no_history")?,
+        })
     }
 }
 

@@ -21,6 +21,7 @@ use std::fmt;
 
 use crate::addr::{CacheGeometry, LineAddr};
 use crate::correlation::{CorrelationConfig, CorrelationStats, CorrelationTable, Prediction};
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 use crate::time::GlobalTicker;
 
 /// A scheduled prefetch produced by the prefetcher.
@@ -131,6 +132,24 @@ impl TimelinessStats {
                 self.counts[c][k] += other.counts[c][k];
             }
         }
+    }
+}
+
+impl Snapshot for TimelinessStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("wrong_addr", Json::u64_array(self.counts[0])),
+            ("right_addr", Json::u64_array(self.counts[1])),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(TimelinessStats {
+            counts: [
+                v.u64_arr_field("wrong_addr")?,
+                v.u64_arr_field("right_addr")?,
+            ],
+        })
     }
 }
 

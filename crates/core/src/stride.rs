@@ -10,7 +10,7 @@
 use crate::addr::{Addr, CacheGeometry, LineAddr, Pc};
 
 /// Geometry and behavior of the stride table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StrideConfig {
     /// log2 of the number of table entries (direct-mapped by PC).
     pub entry_bits: u32,

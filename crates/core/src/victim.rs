@@ -21,6 +21,7 @@ use std::collections::HashMap;
 
 use crate::addr::LineAddr;
 use crate::generation::EvictCause;
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 use crate::time::GlobalTicker;
 
 /// Everything a filter may consult about an eviction.
@@ -318,6 +319,26 @@ impl VictimStats {
     /// Victim-cache hit rate over probes.
     pub fn hit_rate(&self) -> Option<f64> {
         (self.probes > 0).then(|| self.hits as f64 / self.probes as f64)
+    }
+}
+
+impl Snapshot for VictimStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered", Json::U64(self.offered)),
+            ("admitted", Json::U64(self.admitted)),
+            ("probes", Json::U64(self.probes)),
+            ("hits", Json::U64(self.hits)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(VictimStats {
+            offered: v.u64_field("offered")?,
+            admitted: v.u64_field("admitted")?,
+            probes: v.u64_field("probes")?,
+            hits: v.u64_field("hits")?,
+        })
     }
 }
 

@@ -2,6 +2,8 @@
 //! structural invariant against randomized inputs, several against
 //! independent reference models.
 
+#![cfg(feature = "property-tests")]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashSet;

@@ -9,7 +9,7 @@ use timekeeping::{CacheGeometry, CorrelationConfig, DbcpConfig, MarkovConfig, St
 /// direct-mapped L1 data cache with 32 B blocks, a 1 MB 4-way L2 with 64 B
 /// blocks and 12-cycle latency, a 32-byte 2 GHz L1/L2 bus, a 64-byte
 /// 400 MHz L2/memory bus, and 70-cycle memory latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Instructions issued per cycle (8).
     pub issue_width: u32,
@@ -76,7 +76,7 @@ impl Default for MachineConfig {
 }
 
 /// Victim-cache configuration (§4.2 / Figure 13 bars).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VictimMode {
     /// No victim cache (the base machine).
     #[default]
@@ -113,7 +113,7 @@ impl VictimMode {
 }
 
 /// Prefetcher configuration (§5 / Figure 19 bars).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrefetchMode {
     /// No hardware prefetching (the base machine).
     #[default]
@@ -131,7 +131,7 @@ pub enum PrefetchMode {
 }
 
 /// L1 behavior selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum L1Mode {
     /// Normal cache behavior.
     #[default]
@@ -142,7 +142,12 @@ pub enum L1Mode {
 }
 
 /// Full system configuration: machine + mechanism selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Construct one through [`SystemConfig::builder`] (validated), or with
+/// the convenience constructors ([`SystemConfig::base`],
+/// [`SystemConfig::with_victim`], …) which are thin wrappers over the
+/// builder for combinations known to be valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Machine parameters.
     pub machine: MachineConfig,
@@ -174,52 +179,299 @@ pub struct SystemConfig {
     pub slack_prefetch: bool,
 }
 
+/// A rejected [`SystemConfigBuilder`] combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `predict_only` was requested without configuring a prefetcher:
+    /// there is no predictor to score.
+    PredictOnlyWithoutPrefetcher,
+    /// `slack_prefetch` was requested without configuring a prefetcher:
+    /// there are no prefetches to schedule.
+    SlackWithoutPrefetcher,
+    /// The Figure 1 cold-miss oracle was combined with a victim cache,
+    /// prefetcher, or cache decay. The oracle already eliminates every
+    /// conflict and capacity miss, so a mechanism on top measures nothing.
+    OracleWithMechanism,
+    /// A victim-cache admission threshold of zero admits no victim and
+    /// degenerates to no victim cache at all.
+    ZeroVictimThreshold,
+    /// A cache-decay interval of zero would switch every line off on the
+    /// tick after its fill.
+    ZeroDecayInterval,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ConfigError::PredictOnlyWithoutPrefetcher => {
+                "predict_only requires a prefetcher (PrefetchMode::None has no predictor)"
+            }
+            ConfigError::SlackWithoutPrefetcher => {
+                "slack_prefetch requires a prefetcher (PrefetchMode::None issues no prefetches)"
+            }
+            ConfigError::OracleWithMechanism => {
+                "the cold-miss oracle (L1Mode::ColdOnly) cannot be combined with a victim \
+                 cache, prefetcher, or decay"
+            }
+            ConfigError::ZeroVictimThreshold => {
+                "victim-cache admission threshold must be nonzero"
+            }
+            ConfigError::ZeroDecayInterval => "decay interval must be nonzero",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validated construction of a [`SystemConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use tk_sim::{SystemConfig, VictimMode};
+///
+/// let cfg = SystemConfig::builder()
+///     .victim(VictimMode::paper_dead_time())
+///     .decay(16_384)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.decay_interval, Some(16_384));
+///
+/// // Incompatible combinations are rejected instead of silently simulated:
+/// assert!(SystemConfig::builder().predict_only().build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Replaces the machine parameters (default: Table 1).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.cfg.machine = machine;
+        self
+    }
+
+    /// Selects a victim-cache mode.
+    pub fn victim(mut self, victim: VictimMode) -> Self {
+        self.cfg.victim = victim;
+        self
+    }
+
+    /// Selects a prefetcher.
+    pub fn prefetch(mut self, prefetch: PrefetchMode) -> Self {
+        self.cfg.prefetch = prefetch;
+        self
+    }
+
+    /// Selects the Figure 1 cold-miss oracle L1.
+    pub fn oracle_l1(mut self) -> Self {
+        self.cfg.l1_mode = L1Mode::ColdOnly;
+        self
+    }
+
+    /// Enables cache decay at the given idle interval (cycles).
+    pub fn decay(mut self, interval: u64) -> Self {
+        self.cfg.decay_interval = Some(interval);
+        self
+    }
+
+    /// Enables or disables metric collection (default: on).
+    pub fn collect_metrics(mut self, on: bool) -> Self {
+        self.cfg.collect_metrics = on;
+        self
+    }
+
+    /// Drops compiler software prefetches (the §5.2.3 sensitivity run).
+    pub fn ignore_sw_prefetch(mut self) -> Self {
+        self.cfg.ignore_sw_prefetch = true;
+        self
+    }
+
+    /// Runs the prefetcher's predictor without issuing prefetches
+    /// (Figure 20's intrinsic accuracy/coverage measurement).
+    pub fn predict_only(mut self) -> Self {
+        self.cfg.predict_only = true;
+        self
+    }
+
+    /// Issues non-urgent prefetches only on an idle bus (§5.2.2 slack
+    /// scheduling).
+    pub fn slack_prefetch(mut self) -> Self {
+        self.cfg.slack_prefetch = true;
+        self
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first incompatible combination
+    /// found — see the variants for the rules.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.predict_only && cfg.prefetch == PrefetchMode::None {
+            return Err(ConfigError::PredictOnlyWithoutPrefetcher);
+        }
+        if cfg.slack_prefetch && cfg.prefetch == PrefetchMode::None {
+            return Err(ConfigError::SlackWithoutPrefetcher);
+        }
+        if cfg.l1_mode == L1Mode::ColdOnly
+            && (cfg.victim != VictimMode::None
+                || cfg.prefetch != PrefetchMode::None
+                || cfg.decay_interval.is_some())
+        {
+            return Err(ConfigError::OracleWithMechanism);
+        }
+        match cfg.victim {
+            VictimMode::DeadTime { threshold: 0 } | VictimMode::ReloadInterval { threshold: 0 } => {
+                return Err(ConfigError::ZeroVictimThreshold)
+            }
+            _ => {}
+        }
+        if cfg.decay_interval == Some(0) {
+            return Err(ConfigError::ZeroDecayInterval);
+        }
+        Ok(cfg)
+    }
+}
+
 impl SystemConfig {
-    /// The base machine: no victim cache, no prefetcher, metrics on.
-    pub fn base() -> Self {
-        SystemConfig {
-            machine: MachineConfig::paper_default(),
-            victim: VictimMode::None,
-            prefetch: PrefetchMode::None,
-            l1_mode: L1Mode::Normal,
-            collect_metrics: true,
-            ignore_sw_prefetch: false,
-            predict_only: false,
-            decay_interval: None,
-            slack_prefetch: false,
+    /// Starts a validated builder from the base machine (no victim cache,
+    /// no prefetcher, metrics on).
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig {
+                machine: MachineConfig::paper_default(),
+                victim: VictimMode::None,
+                prefetch: PrefetchMode::None,
+                l1_mode: L1Mode::Normal,
+                collect_metrics: true,
+                ignore_sw_prefetch: false,
+                predict_only: false,
+                decay_interval: None,
+                slack_prefetch: false,
+            },
         }
     }
 
+    /// The base machine: no victim cache, no prefetcher, metrics on.
+    pub fn base() -> Self {
+        Self::builder().build().expect("base config is valid")
+    }
+
     /// Base machine with the given victim-cache mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero admission threshold; use [`SystemConfig::builder`]
+    /// to handle invalid modes as a `Result`.
     pub fn with_victim(victim: VictimMode) -> Self {
-        SystemConfig {
-            victim,
-            ..Self::base()
-        }
+        Self::builder()
+            .victim(victim)
+            .build()
+            .expect("victim config must be valid")
     }
 
     /// Base machine with the given prefetcher.
     pub fn with_prefetch(prefetch: PrefetchMode) -> Self {
-        SystemConfig {
-            prefetch,
-            ..Self::base()
-        }
+        Self::builder()
+            .prefetch(prefetch)
+            .build()
+            .expect("prefetch config is valid")
     }
 
     /// The Figure 1 oracle machine (cold misses only).
     pub fn ideal() -> Self {
-        SystemConfig {
-            l1_mode: L1Mode::ColdOnly,
-            ..Self::base()
-        }
+        Self::builder()
+            .oracle_l1()
+            .build()
+            .expect("oracle config is valid")
     }
 
     /// Base machine with cache decay at the given idle interval (cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval; use [`SystemConfig::builder`] to handle
+    /// invalid intervals as a `Result`.
     pub fn with_decay(interval: u64) -> Self {
-        SystemConfig {
-            decay_interval: Some(interval),
-            ..Self::base()
-        }
+        Self::builder()
+            .decay(interval)
+            .build()
+            .expect("decay config must be valid")
+    }
+
+    /// A canonical, human-readable, serde-free serialization of every
+    /// field. Two configurations compare equal iff their keys are equal,
+    /// which makes this the natural experiment-cache key; it is also
+    /// stable across processes (unlike `std::hash::Hash`, whose output
+    /// `HashMap` randomizes per process).
+    pub fn cache_key(&self) -> String {
+        let m = &self.machine;
+        let mut key = format!(
+            "machine{{issue={},window={},commit={},\
+             l1d={}x{}x{},l2={}x{}x{},lat={}/{}/{},bus={}/{},\
+             mshr={}/{},pfq={},tick={},vc={}}}",
+            m.issue_width,
+            m.window_size,
+            m.commit_width,
+            m.l1d.size_bytes(),
+            m.l1d.assoc(),
+            m.l1d.block_bytes(),
+            m.l2.size_bytes(),
+            m.l2.assoc(),
+            m.l2.block_bytes(),
+            m.l1_hit_latency,
+            m.l2_latency,
+            m.mem_latency,
+            m.l1l2_bus_occupancy,
+            m.l2mem_bus_occupancy,
+            m.demand_mshrs,
+            m.prefetch_mshrs,
+            m.prefetch_queue,
+            m.tick_period,
+            m.victim_entries,
+        );
+        key.push_str(&match self.victim {
+            VictimMode::None => " victim=none".to_owned(),
+            VictimMode::Unfiltered => " victim=unfiltered".to_owned(),
+            VictimMode::Collins => " victim=collins".to_owned(),
+            VictimMode::DeadTime { threshold } => format!(" victim=dead<{threshold}"),
+            VictimMode::AdaptiveDeadTime => " victim=adaptive-dead".to_owned(),
+            VictimMode::ReloadInterval { threshold } => format!(" victim=reload<{threshold}"),
+        });
+        key.push_str(&match self.prefetch {
+            PrefetchMode::None => " pf=none".to_owned(),
+            PrefetchMode::Timekeeping(c) => {
+                format!(" pf=tk(m={},n={},w={})", c.m_bits, c.n_bits, c.ways)
+            }
+            PrefetchMode::Dbcp(c) => format!(
+                " pf=dbcp(sets={},w={},conf={})",
+                c.set_bits, c.ways, c.confidence_threshold
+            ),
+            PrefetchMode::Markov(c) => format!(
+                " pf=markov(sets={},w={},succ={},deg={})",
+                c.set_bits, c.ways, c.successors, c.degree
+            ),
+            PrefetchMode::Stride(c) => {
+                format!(" pf=stride(bits={},deg={})", c.entry_bits, c.degree)
+            }
+        });
+        key.push_str(&format!(
+            " l1={} metrics={} ignore_swpf={} predict_only={} decay={} slack={}",
+            match self.l1_mode {
+                L1Mode::Normal => "normal",
+                L1Mode::ColdOnly => "cold-only",
+            },
+            self.collect_metrics,
+            self.ignore_sw_prefetch,
+            self.predict_only,
+            self.decay_interval.map_or("none".to_owned(), |d| d.to_string()),
+            self.slack_prefetch,
+        ));
+        key
     }
 }
 

@@ -9,6 +9,7 @@
 //! order (up to `commit_width` per cycle). Memory-level parallelism
 //! emerges naturally: independent misses overlap until the window fills.
 
+use timekeeping::snapshot::{Json, Snapshot, SnapshotError};
 use timekeeping::Cycle;
 
 use crate::config::SystemConfig;
@@ -16,7 +17,7 @@ use crate::hierarchy::MemorySystem;
 use crate::trace::{Instr, Workload};
 
 /// Execution statistics of one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions retired.
     pub instructions: u64,
@@ -41,6 +42,30 @@ impl CoreStats {
         } else {
             self.instructions as f64 / self.cycles as f64
         }
+    }
+}
+
+impl Snapshot for CoreStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("instructions", Json::U64(self.instructions)),
+            ("cycles", Json::U64(self.cycles)),
+            ("loads", Json::U64(self.loads)),
+            ("stores", Json::U64(self.stores)),
+            ("sw_prefetches", Json::U64(self.sw_prefetches)),
+            ("window_full_cycles", Json::U64(self.window_full_cycles)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(CoreStats {
+            instructions: v.u64_field("instructions")?,
+            cycles: v.u64_field("cycles")?,
+            loads: v.u64_field("loads")?,
+            stores: v.u64_field("stores")?,
+            sw_prefetches: v.u64_field("sw_prefetches")?,
+            window_full_cycles: v.u64_field("window_full_cycles")?,
+        })
     }
 }
 

@@ -12,6 +12,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use timekeeping::snapshot::{Json, Snapshot, SnapshotError};
 use timekeeping::{
     AdaptiveDeadTimeFilter, CollinsFilter, DeadTimeFilter, NoFilter, ReloadIntervalFilter,
 };
@@ -39,7 +40,7 @@ pub struct AccessOutcome {
 }
 
 /// Aggregate hierarchy counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 data-cache accesses.
     pub l1_accesses: u64,
@@ -97,6 +98,52 @@ impl HierarchyStats {
     /// Address-prediction accuracy (Figure 20).
     pub fn addr_accuracy(&self) -> Option<f64> {
         (self.addr_predictions > 0).then(|| self.addr_correct as f64 / self.addr_predictions as f64)
+    }
+}
+
+impl Snapshot for HierarchyStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1_accesses", Json::U64(self.l1_accesses)),
+            ("l1_hits", Json::U64(self.l1_hits)),
+            ("vc_hits", Json::U64(self.vc_hits)),
+            ("l2_accesses", Json::U64(self.l2_accesses)),
+            ("l2_hits", Json::U64(self.l2_hits)),
+            ("mem_accesses", Json::U64(self.mem_accesses)),
+            ("pf_enqueued", Json::U64(self.pf_enqueued)),
+            ("pf_issued", Json::U64(self.pf_issued)),
+            ("pf_fills", Json::U64(self.pf_fills)),
+            ("pf_redundant", Json::U64(self.pf_redundant)),
+            ("pf_dropped_live", Json::U64(self.pf_dropped_live)),
+            ("addr_predictions", Json::U64(self.addr_predictions)),
+            ("addr_correct", Json::U64(self.addr_correct)),
+            ("l1_writebacks", Json::U64(self.l1_writebacks)),
+            ("l2_writebacks", Json::U64(self.l2_writebacks)),
+            ("decay_misses", Json::U64(self.decay_misses)),
+            ("decay_off_cycles", Json::U64(self.decay_off_cycles)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(HierarchyStats {
+            l1_accesses: v.u64_field("l1_accesses")?,
+            l1_hits: v.u64_field("l1_hits")?,
+            vc_hits: v.u64_field("vc_hits")?,
+            l2_accesses: v.u64_field("l2_accesses")?,
+            l2_hits: v.u64_field("l2_hits")?,
+            mem_accesses: v.u64_field("mem_accesses")?,
+            pf_enqueued: v.u64_field("pf_enqueued")?,
+            pf_issued: v.u64_field("pf_issued")?,
+            pf_fills: v.u64_field("pf_fills")?,
+            pf_redundant: v.u64_field("pf_redundant")?,
+            pf_dropped_live: v.u64_field("pf_dropped_live")?,
+            addr_predictions: v.u64_field("addr_predictions")?,
+            addr_correct: v.u64_field("addr_correct")?,
+            l1_writebacks: v.u64_field("l1_writebacks")?,
+            l2_writebacks: v.u64_field("l2_writebacks")?,
+            decay_misses: v.u64_field("decay_misses")?,
+            decay_off_cycles: v.u64_field("decay_off_cycles")?,
+        })
     }
 }
 

@@ -48,7 +48,9 @@ pub mod mshr;
 pub mod system;
 pub mod trace;
 
-pub use config::{L1Mode, MachineConfig, PrefetchMode, SystemConfig, VictimMode};
+pub use config::{
+    ConfigError, L1Mode, MachineConfig, PrefetchMode, SystemConfig, SystemConfigBuilder, VictimMode,
+};
 pub use core::{CoreStats, OooCore};
 pub use hierarchy::{AccessOutcome, HierarchyStats, MemorySystem};
 pub use system::{run_workload, RunResult};

@@ -1,5 +1,6 @@
 //! One-call experiment runner: workload × configuration → statistics.
 
+use timekeeping::snapshot::{Json, Snapshot, SnapshotError};
 use timekeeping::{MetricsCollector, MissBreakdown, TimelinessStats, VictimStats};
 
 use crate::config::SystemConfig;
@@ -8,7 +9,7 @@ use crate::hierarchy::{HierarchyStats, MemorySystem};
 use crate::trace::Workload;
 
 /// Everything a single simulation run produced.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload name.
     pub workload: String,
@@ -47,6 +48,49 @@ impl RunResult {
         } else {
             self.ipc() / base.ipc() - 1.0
         }
+    }
+}
+
+impl Snapshot for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("core", self.core.to_json()),
+            ("hierarchy", self.hierarchy.to_json()),
+            ("breakdown", self.breakdown.to_json()),
+            ("metrics", self.metrics.to_json()),
+            ("victim", Json::option(&self.victim)),
+            (
+                "victim_swap_fills",
+                match self.victim_swap_fills {
+                    Some(n) => Json::U64(n),
+                    None => Json::Null,
+                },
+            ),
+            ("timeliness", self.timeliness.to_json()),
+            ("correlation", Json::option(&self.correlation)),
+            ("dbcp", Json::option(&self.dbcp)),
+            ("pf_queue_discards", Json::U64(self.pf_queue_discards)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, SnapshotError> {
+        Ok(RunResult {
+            workload: v.get("workload")?.as_str()?.to_owned(),
+            core: v.snapshot_field("core")?,
+            hierarchy: v.snapshot_field("hierarchy")?,
+            breakdown: v.snapshot_field("breakdown")?,
+            metrics: v.snapshot_field("metrics")?,
+            victim: v.option_field("victim")?,
+            victim_swap_fills: match v.get("victim_swap_fills")? {
+                Json::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            timeliness: v.snapshot_field("timeliness")?,
+            correlation: v.option_field("correlation")?,
+            dbcp: v.option_field("dbcp")?,
+            pf_queue_discards: v.u64_field("pf_queue_discards")?,
+        })
     }
 }
 

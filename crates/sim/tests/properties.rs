@@ -2,6 +2,8 @@
 //! cache against a reference LRU model, MSHR bookkeeping, bus
 //! serialization, and whole-system conservation laws.
 
+#![cfg(feature = "property-tests")]
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 

@@ -2,6 +2,8 @@
 //! containment, instruction-mix bounds, and the full-period guarantee of
 //! the pointer chase.
 
+#![cfg(feature = "property-tests")]
+
 use proptest::prelude::*;
 use std::collections::HashSet;
 

@@ -1,13 +1,22 @@
 #!/bin/bash
-# Regenerates every report in reports/. Usage: ./gen_reports.sh [instructions]
+# Regenerates every report in reports/.
+#
+# Usage: ./gen_reports.sh [instructions] [jobs]
+#   instructions  budget per simulation run (default 8,000,000)
+#   jobs          worker threads (default: all cores)
+#
+# Results are cached as JSON under reports/.cache/ so re-runs only pay for
+# jobs whose (benchmark, config, seed, instructions) tuple changed. Clear
+# with: rm -rf reports/.cache
 set -e
 cd "$(dirname "$0")"
 INSTS=${1:-8000000}
+JOBS=${2:-$(nproc)}
 cargo build --release -p tk-bench
-./target/release/report "$INSTS" reports
-./target/release/prefetchers "$INSTS" > reports/prefetchers.txt
-./target/release/ablation 4000000 > reports/ablation.txt
-./target/release/leakage 4000000 > reports/leakage.txt
-./target/release/multiprog 4000000 > reports/multiprog.txt
+./target/release/report --instructions "$INSTS" --jobs "$JOBS" --cache reports
+./target/release/prefetchers --instructions "$INSTS" --jobs "$JOBS" > reports/prefetchers.txt
+./target/release/ablation --jobs "$JOBS" > reports/ablation.txt
+./target/release/leakage --jobs "$JOBS" > reports/leakage.txt
+./target/release/multiprog --jobs "$JOBS" > reports/multiprog.txt
 ./target/release/hwcost > reports/hwcost.txt
 echo ALL_REPORTS_DONE
