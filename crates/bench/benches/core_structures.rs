@@ -128,8 +128,11 @@ mod suite {
     fn bench_prefetcher(c: &mut Criterion) {
         c.bench_function("tk_prefetcher_fill_and_tick", |b| {
             let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
-            let mut p =
-                TimekeepingPrefetcher::new(geom, CorrelationConfig::PAPER_8KB, GlobalTicker::default());
+            let mut p = TimekeepingPrefetcher::new(
+                geom,
+                CorrelationConfig::PAPER_8KB,
+                GlobalTicker::default(),
+            );
             let mut i = 0u64;
             b.iter(|| {
                 i = i.wrapping_add(1);

@@ -34,7 +34,9 @@ mod suite {
             (
                 "swim_tk_prefetch",
                 SpecBenchmark::Swim,
-                SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+                SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+                    CorrelationConfig::PAPER_8KB,
+                )),
             ),
         ];
         for (name, bench, cfg) in cases {

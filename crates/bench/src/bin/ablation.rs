@@ -46,7 +46,11 @@ fn main() {
         }
     };
     let cfgs: Vec<SystemConfig> = std::iter::once(SystemConfig::base())
-        .chain(thresholds.iter().map(|&t| SystemConfig::with_victim(mode_of(t))))
+        .chain(
+            thresholds
+                .iter()
+                .map(|&t| SystemConfig::with_victim(mode_of(t))),
+        )
         .collect();
     warm(&[SpecBenchmark::Twolf, SpecBenchmark::Vpr], &cfgs, opts);
     for threshold in thresholds {

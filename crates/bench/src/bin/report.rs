@@ -14,7 +14,10 @@ use tk_bench::{engine, figures, FigureOpts};
 fn main() {
     let (opts, positionals) = FigureOpts::from_args_with_positionals();
     let mut positionals = positionals.into_iter();
-    let dir: PathBuf = positionals.next().unwrap_or_else(|| "reports".into()).into();
+    let dir: PathBuf = positionals
+        .next()
+        .unwrap_or_else(|| "reports".into())
+        .into();
     if let Some(extra) = positionals.next() {
         eprintln!("error: unexpected argument `{extra}`");
         std::process::exit(2);

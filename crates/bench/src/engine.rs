@@ -77,8 +77,9 @@ impl Job {
     }
 }
 
-/// 64-bit FNV-1a — a stable, dependency-free hash for cache filenames.
-fn fnv1a64(data: &str) -> u64 {
+/// 64-bit FNV-1a — a stable, dependency-free hash for cache filenames
+/// and golden-digest fingerprints.
+pub(crate) fn fnv1a64(data: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in data.as_bytes() {
         h ^= u64::from(*b);
@@ -90,6 +91,7 @@ fn fnv1a64(data: &str) -> u64 {
 struct Engine {
     memo: Mutex<HashMap<Job, Arc<RunResult>>>,
     disk_dir: Mutex<Option<PathBuf>>,
+    recorded: Mutex<Option<Vec<Job>>>,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
     sims_run: AtomicU64,
@@ -100,6 +102,7 @@ fn engine() -> &'static Engine {
     ENGINE.get_or_init(|| Engine {
         memo: Mutex::new(HashMap::new()),
         disk_dir: Mutex::new(None),
+        recorded: Mutex::new(None),
         memo_hits: AtomicU64::new(0),
         disk_hits: AtomicU64::new(0),
         sims_run: AtomicU64::new(0),
@@ -113,6 +116,30 @@ fn engine() -> &'static Engine {
 /// (e.g. `rm -rf reports/.cache`).
 pub fn set_disk_cache(dir: Option<PathBuf>) {
     *engine().disk_dir.lock().expect("cache poisoned") = dir;
+}
+
+/// The current disk-cache directory, if enabled.
+pub fn disk_cache_dir() -> Option<PathBuf> {
+    engine().disk_dir.lock().expect("cache poisoned").clone()
+}
+
+/// Turns the job log on or off. While on, every *distinct* job submitted
+/// to [`run_jobs`] is appended (in submission order, including memo and
+/// disk hits) so a caller can discover exactly which simulations back a
+/// figure — the golden-figure harness uses this to build its digests.
+pub fn record_jobs(enable: bool) {
+    let mut rec = engine().recorded.lock().expect("record poisoned");
+    *rec = if enable { Some(Vec::new()) } else { None };
+}
+
+/// Drains the job log accumulated since [`record_jobs`]`(true)` (or the
+/// previous drain), leaving recording on. Empty when recording is off.
+pub fn take_recorded_jobs() -> Vec<Job> {
+    let mut rec = engine().recorded.lock().expect("record poisoned");
+    match rec.as_mut() {
+        Some(v) => std::mem::take(v),
+        None => Vec::new(),
+    }
 }
 
 /// Engine counters since process start (or the last [`reset_stats`]):
@@ -185,6 +212,13 @@ fn disk_store(dir: &Path, key: &str, result: &RunResult) {
 pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
     let e = engine();
     let disk_dir = e.disk_dir.lock().expect("cache poisoned").clone();
+    if let Some(rec) = e.recorded.lock().expect("record poisoned").as_mut() {
+        for job in jobs {
+            if !rec.contains(job) {
+                rec.push(*job);
+            }
+        }
+    }
 
     // Resolve what we can from the memo and disk; collect the distinct
     // tuples that actually need simulating.
@@ -216,8 +250,7 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
     // Fan the pending simulations across the pool. Each slot is written
     // by exactly one worker; job order in `pending` fixes which result
     // goes where, so the pool size cannot affect the output.
-    let results: Vec<Mutex<Option<RunResult>>> =
-        pending.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<RunResult>>> = pending.iter().map(|_| Mutex::new(None)).collect();
     let workers = workers.max(1).min(pending.len().max(1));
     if workers <= 1 {
         for (job, slot) in pending.iter().zip(&results) {
@@ -243,7 +276,10 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
     {
         let mut memo = e.memo.lock().expect("memo poisoned");
         for (job, slot) in pending.iter().zip(results) {
-            let r = slot.into_inner().expect("slot poisoned").expect("worker ran");
+            let r = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("worker ran");
             if let Some(dir) = disk_dir.as_deref() {
                 disk_store(dir, &job.cache_key(), &r);
             }
@@ -262,7 +298,12 @@ mod tests {
     use crate::runner::FigureOpts;
 
     fn quick_job(cfg: SystemConfig) -> Job {
-        Job::new(SpecBenchmark::Gzip, cfg, 1, FigureOpts::quick().instructions)
+        Job::new(
+            SpecBenchmark::Gzip,
+            cfg,
+            1,
+            FigureOpts::quick().instructions,
+        )
     }
 
     #[test]
@@ -299,11 +340,7 @@ mod tests {
         // A different key must not read another key's file, even if we
         // force the same path by writing it there.
         std::fs::write(disk_path(&dir, "other-key"), {
-            Json::obj([
-                ("key", Json::Str(job.cache_key())),
-                ("result", r.to_json()),
-            ])
-            .render()
+            Json::obj([("key", Json::Str(job.cache_key())), ("result", r.to_json())]).render()
         })
         .unwrap();
         assert_eq!(disk_load(&dir, "other-key"), None);

@@ -388,7 +388,11 @@ pub fn fig14(opts: FigureOpts) -> String {
 
 /// Figure 15: live-time variability for the eight best performers.
 pub fn fig15(opts: FigureOpts) -> String {
-    warm(&SpecBenchmark::BEST_PERFORMERS, &[SystemConfig::base()], opts);
+    warm(
+        &SpecBenchmark::BEST_PERFORMERS,
+        &[SystemConfig::base()],
+        opts,
+    );
     let mut t = TextTable::new(vec![
         "benchmark",
         "|diff| < 16 cyc",

@@ -19,6 +19,7 @@
 pub mod engine;
 pub mod figures;
 pub mod fmt;
+pub mod golden;
 pub mod runner;
 
 pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! <binary> [INSTRUCTIONS] [--instructions N] [--seed S] [--quick]
-//!          [--jobs J] [--cache[=DIR]] [--no-cache]
+//!          [--jobs J] [--cache[=DIR]] [--no-cache] [--check]
 //! ```
 //!
 //! A bare leading number is accepted as the instruction budget for
@@ -16,7 +16,7 @@
 //! [`FigureOpts::from_args_with_positionals`].
 //!
 //! The run helpers ([`run_bench`], [`run_suite`], [`suite_metrics`]) sit
-//! on the [`engine`](crate::engine): results are memoized per job tuple
+//! on the [`engine`]: results are memoized per job tuple
 //! and suites fan out across `opts.jobs` workers.
 
 use std::sync::Arc;
@@ -41,6 +41,11 @@ pub struct FigureOpts {
     /// ([`or_default_budget`](Self::or_default_budget)) respect an
     /// explicit `--instructions`.
     pub instructions_explicit: bool,
+    /// Whether `--check` was given: every simulation runs in lockstep
+    /// with the functional oracle (see `tk_sim::oracle`). The parser
+    /// also sets the process-wide flag so the engine's workers pick it
+    /// up.
+    pub check: bool,
 }
 
 impl FigureOpts {
@@ -61,6 +66,7 @@ impl FigureOpts {
             seed: 1,
             jobs: engine::default_jobs(),
             instructions_explicit: false,
+            check: false,
         }
     }
 
@@ -167,12 +173,16 @@ impl FigureOpts {
                     opts.instructions_explicit = true;
                 }
                 "--cache" => {
-                    let dir = inline.map(str::to_owned).unwrap_or_else(|| {
-                        Self::DEFAULT_CACHE_DIR.to_owned()
-                    });
+                    let dir = inline
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| Self::DEFAULT_CACHE_DIR.to_owned());
                     engine::set_disk_cache(Some(dir.into()));
                 }
                 "--no-cache" => engine::set_disk_cache(None),
+                "--check" => {
+                    opts.check = true;
+                    tk_sim::set_lockstep_check(true);
+                }
                 "--help" | "-h" => {
                     println!("{}", usage());
                     std::process::exit(0);
@@ -212,6 +222,8 @@ fn usage() -> String {
          \x20 --jobs J           worker threads (default: all cores)\n\
          \x20 --cache[=DIR]      persist results as JSON (default dir {})\n\
          \x20 --no-cache         disable the disk cache\n\
+         \x20 --check            self-verify: run every simulation in\n\
+         \x20                    lockstep with the functional oracle\n\
          \x20 --help             this text\n\
          \n\
          A bare leading number is accepted as INSTRUCTIONS (legacy\n\
@@ -324,6 +336,71 @@ mod tests {
         assert!(parse(&["--instructions", "many"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--seed=-1"]).is_err());
+    }
+
+    #[test]
+    fn jobs_zero_error_states_minimum() {
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        // Inline form hits the same validation.
+        assert_eq!(parse(&["--jobs=0"]).unwrap_err(), err);
+    }
+
+    #[test]
+    fn unknown_flag_error_names_the_flag() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        // The inline `=value` part is not blamed, only the flag itself.
+        let err = parse(&["--frobnicate=3"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        assert!(!err.contains("=3"), "{err}");
+    }
+
+    #[test]
+    fn cache_flag_path_handling() {
+        let prev = engine::disk_cache_dir();
+
+        let (_, pos) = parse(&["--cache=/tmp/tk-golden-test-cache"]).unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(
+            engine::disk_cache_dir(),
+            Some(std::path::PathBuf::from("/tmp/tk-golden-test-cache"))
+        );
+
+        // Bare `--cache` falls back to the default directory rather than
+        // consuming the next argument as a value.
+        let (o, pos) = parse(&["--cache", "777"]).unwrap();
+        assert_eq!(
+            engine::disk_cache_dir(),
+            Some(std::path::PathBuf::from(FigureOpts::DEFAULT_CACHE_DIR))
+        );
+        assert_eq!(o.instructions, FigureOpts::DEFAULT_INSTRUCTIONS);
+        assert_eq!(pos, vec!["777"]); // not first position → positional
+
+        parse(&["--no-cache"]).unwrap();
+        assert_eq!(engine::disk_cache_dir(), None);
+
+        engine::set_disk_cache(prev);
+    }
+
+    #[test]
+    fn quick_and_instructions_last_one_wins() {
+        let (o, _) = parse(&["--instructions", "42", "--quick"]).unwrap();
+        assert_eq!(o.instructions, FigureOpts::QUICK_INSTRUCTIONS);
+        assert!(o.instructions_explicit);
+        let (o, _) = parse(&["--quick", "--instructions=42"]).unwrap();
+        assert_eq!(o.instructions, 42);
+        assert!(o.instructions_explicit);
+    }
+
+    #[test]
+    fn check_flag_arms_the_lockstep_oracle() {
+        assert!(!FigureOpts::new().check);
+        let (o, _) = parse(&["--check"]).unwrap();
+        assert!(o.check);
+        assert!(tk_sim::lockstep_check_enabled());
+        tk_sim::set_lockstep_check(false);
     }
 
     #[test]

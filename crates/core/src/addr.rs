@@ -79,9 +79,10 @@ impl fmt::LowerHex for Addr {
 ///
 /// ```
 /// use timekeeping::{Addr, CacheGeometry};
-/// let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+/// let geom = CacheGeometry::new(32 * 1024, 1, 32)?;
 /// let line = geom.line_of(Addr::new(0x104f));
 /// assert_eq!(line.get(), 0x1040 / 32);
+/// # Ok::<(), timekeeping::GeometryError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
@@ -427,6 +428,28 @@ mod tests {
             CacheGeometry::new(64, 4, 32),
             Err(GeometryError::TooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_line_size() {
+        assert!(matches!(
+            CacheGeometry::new(4096, 1, 48),
+            Err(GeometryError::NotPowerOfTwo {
+                param: "block_bytes",
+                value: 48,
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_assoc_exceeding_blocks() {
+        // 1 KiB of 32 B blocks is 32 frames; a 64-way set cannot fit.
+        assert!(matches!(
+            CacheGeometry::new(1024, 64, 32),
+            Err(GeometryError::TooSmall { .. })
+        ));
+        // The fully-associative limit itself is fine.
+        assert!(CacheGeometry::new(1024, 32, 32).is_ok());
     }
 
     #[test]

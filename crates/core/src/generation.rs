@@ -227,6 +227,30 @@ impl GenerationTracker {
         let g = self.frames[frame].take()?;
         let live_time = g.last_use.since(g.start);
         let dead_time = now.since(g.last_use);
+        // Cross-check the timekeeping arithmetic: live + dead must tile
+        // the generation exactly, and the last use must fall inside it.
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                g.start <= g.last_use && g.last_use <= now,
+                "generation in frame {frame}: last use {} outside [{}, {now}]",
+                g.last_use,
+                g.start
+            );
+            assert_eq!(
+                live_time + dead_time,
+                now.since(g.start),
+                "generation in frame {frame}: live {live_time} + dead \
+                 {dead_time} does not tile [{}, {now}]",
+                g.start
+            );
+            assert!(
+                g.max_access_interval <= live_time,
+                "generation in frame {frame}: max access interval {} \
+                 exceeds live time {live_time}",
+                g.max_access_interval
+            );
+        }
         let rec = GenerationRecord {
             line: g.line,
             frame,

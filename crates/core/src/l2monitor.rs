@@ -27,7 +27,7 @@ use crate::time::{Cycle, GlobalTicker};
 /// ```
 /// use timekeeping::{Addr, CacheGeometry, Cycle, GlobalTicker, L2IntervalMonitor};
 ///
-/// let l2 = CacheGeometry::new(1024 * 1024, 4, 64).unwrap();
+/// let l2 = CacheGeometry::new(1024 * 1024, 4, 64)?;
 /// let mut mon = L2IntervalMonitor::new(l2, GlobalTicker::default(), 16_384);
 /// let a = Addr::new(0x4000);
 /// assert_eq!(mon.on_access(a, Cycle::new(0)), None); // first touch
@@ -35,6 +35,7 @@ use crate::time::{Cycle, GlobalTicker};
 /// let (interval, conflict) = mon.on_access(a, Cycle::new(2_048)).unwrap();
 /// assert_eq!(interval, 2_048);
 /// assert!(conflict);
+/// # Ok::<(), timekeeping::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct L2IntervalMonitor {
@@ -125,7 +126,7 @@ mod tests {
     use super::*;
 
     fn monitor() -> L2IntervalMonitor {
-        let l2 = CacheGeometry::new(1024 * 1024, 4, 64).unwrap();
+        let l2 = CacheGeometry::new(1024 * 1024, 4, 64).expect("valid test geometry");
         L2IntervalMonitor::new(l2, GlobalTicker::default(), 16_384)
     }
 
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one tick")]
     fn sub_tick_threshold_rejected() {
-        let l2 = CacheGeometry::new(1024 * 1024, 4, 64).unwrap();
+        let l2 = CacheGeometry::new(1024 * 1024, 4, 64).expect("valid test geometry");
         let _ = L2IntervalMonitor::new(l2, GlobalTicker::default(), 100);
     }
 }

@@ -150,7 +150,10 @@ impl DecayDeadBlockSweep {
 impl Snapshot for DecayDeadBlockSweep {
     fn to_json(&self) -> Json {
         Json::obj([
-            ("thresholds", Json::u64_array(self.thresholds.iter().copied())),
+            (
+                "thresholds",
+                Json::u64_array(self.thresholds.iter().copied()),
+            ),
             (
                 "fired_correct",
                 Json::u64_array(self.fired_correct.iter().copied()),

@@ -292,7 +292,7 @@ struct FrameRegs {
 /// ```
 /// use timekeeping::{CacheGeometry, CorrelationConfig, GlobalTicker, TimekeepingPrefetcher};
 ///
-/// let geom = CacheGeometry::new(1024, 1, 32).unwrap(); // 32 frames
+/// let geom = CacheGeometry::new(1024, 1, 32)?; // 32 frames
 /// let mut pf = TimekeepingPrefetcher::new(geom, CorrelationConfig::PAPER_8KB,
 ///                                         GlobalTicker::default());
 /// // Teach it a pattern A -> B -> C in frame 0 (set 0):
@@ -307,6 +307,7 @@ struct FrameRegs {
 /// let fired = pf.tick();
 /// assert_eq!(fired.len(), 1);
 /// assert_eq!(geom.tag_of_line(fired[0].line), 0xC);
+/// # Ok::<(), timekeeping::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct TimekeepingPrefetcher {

@@ -1,6 +1,6 @@
 //! Serde-free JSON snapshots of run statistics.
 //!
-//! The experiment cache persists complete [`RunResult`]s (in `tk-sim`)
+//! The experiment cache persists complete `RunResult`s (in `tk-sim`)
 //! across invocations, so every statistics type must serialize exactly —
 //! bit-identical counters in, bit-identical counters out — without pulling
 //! an external serialization framework into the (offline-buildable)
@@ -15,8 +15,6 @@
 //!   writer that round-trip each other;
 //! * [`Snapshot`] — the to/from-JSON trait implemented by every
 //!   statistics type in this crate and by the simulator's result types.
-//!
-//! `RunResult`: ../../tk_sim/struct.RunResult.html
 //!
 //! # Examples
 //!
@@ -266,8 +264,7 @@ impl Json {
                         "non-integer number at byte {start}"
                     )));
                 }
-                let text = std::str::from_utf8(&b[start..*pos])
-                    .expect("digits are valid UTF-8");
+                let text = std::str::from_utf8(&b[start..*pos]).expect("digits are valid UTF-8");
                 text.parse::<u64>().map(Json::U64).map_err(|_| {
                     SnapshotError::new(format!("integer out of u64 range at byte {start}"))
                 })
@@ -343,12 +340,7 @@ impl Json {
 
     /// Builds an object from key/value pairs.
     pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Builds an array of `u64` counters.
@@ -572,7 +564,10 @@ mod tests {
         // 2^53 + 1 is where f64-based parsers corrupt integers.
         let n = (1u64 << 53) + 1;
         assert_eq!(
-            Json::parse(&Json::U64(n).render()).unwrap().as_u64().unwrap(),
+            Json::parse(&Json::U64(n).render())
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             n
         );
     }

@@ -76,7 +76,7 @@ pub struct StrideStats {
 ///
 /// ```
 /// use timekeeping::{Addr, CacheGeometry, Pc, StrideConfig, StridePrefetcher};
-/// let geom = CacheGeometry::new(32 * 1024, 1, 32).unwrap();
+/// let geom = CacheGeometry::new(32 * 1024, 1, 32)?;
 /// let mut sp = StridePrefetcher::new(StrideConfig::CLASSIC, geom);
 /// let pc = Pc::new(0x400);
 /// // A steady 64-byte stride confirms after three accesses...
@@ -85,6 +85,7 @@ pub struct StrideStats {
 /// let lines = sp.on_access(Addr::new(128), pc);
 /// // ...and prefetches the next blocks along the stride.
 /// assert_eq!(lines[0], geom.line_of(Addr::new(192)));
+/// # Ok::<(), timekeeping::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {

@@ -406,6 +406,14 @@ impl VictimCache {
         self.stats
     }
 
+    /// The buffered lines in LRU→MRU order (diagnostic accessor for the
+    /// simulator's lockstep divergence report).
+    pub fn lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<(LineAddr, u64)> = self.entries.clone();
+        v.sort_by_key(|&(_, s)| s);
+        v.into_iter().map(|(l, _)| l).collect()
+    }
+
     /// Probes for `line` on an L1 miss; on a hit the entry is removed
     /// (the block is swapped back into the L1). Returns whether it hit.
     pub fn take(&mut self, line: LineAddr) -> bool {
@@ -437,7 +445,31 @@ impl VictimCache {
             self.entries.swap_remove(lru);
         }
         self.entries.push((line, self.stamp));
+        self.debug_invariants();
     }
+
+    /// Buffer invariants, asserted after every insertion when the
+    /// `check-invariants` feature is on: occupancy within capacity and no
+    /// duplicate lines.
+    #[cfg(feature = "check-invariants")]
+    fn debug_invariants(&self) {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "victim cache holds {} entries, capacity {}",
+            self.entries.len(),
+            self.capacity
+        );
+        for (i, &(l, _)) in self.entries.iter().enumerate() {
+            assert!(
+                !self.entries[i + 1..].iter().any(|&(o, _)| o == l),
+                "victim cache holds {l} twice"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn debug_invariants(&self) {}
 
     /// Offers an eviction through `filter`; inserts it if admitted.
     /// Returns whether the victim was admitted.

@@ -337,6 +337,120 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------- snapshot round-trip
+
+use timekeeping::snapshot::{Json, Snapshot};
+use timekeeping::{CorrelationStats, DbcpStats, MissBreakdown, VictimStats};
+
+/// Renders, parses and reconstructs a snapshot, asserting the text is
+/// reproduced bit-exactly and the value survives unchanged.
+fn assert_snapshot_roundtrips<T>(value: &T)
+where
+    T: Snapshot + PartialEq + std::fmt::Debug,
+{
+    let doc = value.to_json().render();
+    let parsed = Json::parse(&doc).expect("rendered snapshots parse back");
+    assert_eq!(parsed.render(), doc, "render→parse→render changed the text");
+    let back = T::from_json(&parsed).expect("snapshot shape matches");
+    assert_eq!(&back, value, "from_json(to_json(x)) != x");
+    assert_eq!(back.to_json().render(), doc);
+}
+
+proptest! {
+    /// Flat counter statistics round-trip for arbitrary counter values.
+    #[test]
+    fn snapshot_roundtrips_counter_stats(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u64>(),
+    ) {
+        assert_snapshot_roundtrips(&MissBreakdown { cold: a, conflict: b, capacity: c });
+        assert_snapshot_roundtrips(&VictimStats { offered: a, admitted: b, probes: c, hits: d });
+        assert_snapshot_roundtrips(&CorrelationStats {
+            lookups: a,
+            hits: b,
+            updates: c,
+            allocations: d,
+        });
+        assert_snapshot_roundtrips(&DbcpStats {
+            lookups: a,
+            predictions: b,
+            prefetches: c,
+            updates: d,
+        });
+    }
+
+    /// Histograms round-trip for any geometry and sample set (including
+    /// overflow and the min/max extremes).
+    #[test]
+    fn snapshot_roundtrips_histogram(
+        values in vec(any::<u64>(), 0..200),
+        width in 1u64..5_000,
+        buckets in 1usize..64,
+    ) {
+        let mut h = Histogram::new(width, buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        assert_snapshot_roundtrips(&h);
+    }
+
+    /// Live-time variability round-trips for any recorded pair set.
+    #[test]
+    fn snapshot_roundtrips_variability(pairs in vec((1u64..1_000_000, 1u64..1_000_000), 0..100)) {
+        let mut v = LiveTimeVariability::new();
+        for &(p, c) in &pairs {
+            v.record(p, c);
+        }
+        assert_snapshot_roundtrips(&v);
+    }
+
+    /// Timeliness statistics round-trip for any event mix.
+    #[test]
+    fn snapshot_roundtrips_timeliness(events in vec((any::<bool>(), 0usize..5), 0..200)) {
+        let mut s = TimelinessStats::new();
+        for &(correct, class_idx) in &events {
+            s.record(correct, Timeliness::ALL[class_idx]);
+        }
+        assert_snapshot_roundtrips(&s);
+    }
+
+    /// The full metrics collector — histograms per miss kind, generation
+    /// accounting, variability — round-trips after arbitrary activity.
+    #[test]
+    fn snapshot_roundtrips_metrics_collector(
+        gens in vec((1u64..10_000, 1u64..10_000), 0..30),
+        misses in vec((0u64..200_000, 0usize..3), 0..100),
+        intervals in vec(0u64..1_000_000, 0..50),
+    ) {
+        let mut m = MetricsCollector::new();
+        let mut t = GenerationTracker::new(1);
+        let mut now = Cycle::new(0);
+        for &(live, tail) in &gens {
+            t.fill(0, LineAddr::new(3), now);
+            t.hit(0, now + live);
+            let rec = t.evict(0, now + live + tail, EvictCause::Demand).expect("open");
+            m.on_generation(&rec);
+            now += live + tail;
+        }
+        let kinds = [MissKind::Cold, MissKind::Conflict, MissKind::Capacity];
+        for &(ri, k) in &misses {
+            let h = LineHistory {
+                last_start: C2::new(0),
+                last_live_time: ri / 2,
+                last_dead_time: ri / 3,
+                completed: true,
+            };
+            m.on_miss(kinds[k], Some(&h), Some(ri));
+        }
+        for &i in &intervals {
+            m.on_access_interval(i);
+        }
+        assert_snapshot_roundtrips(&m);
+    }
+}
+
 // ------------------------------------------------------- prefetch queue
 
 use timekeeping::{PrefetchQueue, PrefetchRequest};

@@ -1,0 +1,184 @@
+//! Table-driven pin of the victim-cache admission filters (paper §4).
+//!
+//! Each row is a hand-constructed eviction in one L1 set, with the
+//! dead time and reload interval chosen to tell the paper's story: a
+//! ping-ponging conflict pair (short dead times, short reload intervals)
+//! interrupted by a streaming block (long dead time, long reload
+//! interval). The expected columns pin how the Collins conflict
+//! detector, the timekeeping dead-time filter and the reload-interval
+//! filter each classify every eviction — including where they disagree.
+
+use timekeeping::{
+    CollinsFilter, DeadTimeFilter, EvictCause, EvictionInfo, LineAddr, ReloadIntervalFilter,
+    VictimFilter,
+};
+
+const SET: u64 = 5;
+
+fn eviction(tag: u64, incoming: u64, dead: u64, reload: Option<u64>) -> EvictionInfo {
+    EvictionInfo {
+        line: LineAddr::new((SET << 8) | tag),
+        set_index: SET,
+        tag,
+        dead_time: dead,
+        live_time: 100,
+        cause: EvictCause::Demand,
+        reload_interval: reload,
+        incoming_tag: incoming,
+    }
+}
+
+struct Row {
+    why: &'static str,
+    tag: u64,
+    incoming: u64,
+    dead: u64,
+    reload: Option<u64>,
+    collins: bool,
+    dead_time: bool,
+    reload_interval: bool,
+}
+
+/// The ping-pong scenario of §4: A and B conflict in one set, C streams
+/// through once. Thresholds are the paper's: dead time < 1 K cycles
+/// (2-bit counter, 512-cycle tick, value ≤ 1), reload interval < 16 K.
+const TABLE: &[Row] = &[
+    Row {
+        why: "first eviction of the set: no history for Collins, no prior generation",
+        tag: 0xA,
+        incoming: 0xB,
+        dead: 600,
+        reload: None,
+        collins: false,         // nothing evicted from this set yet
+        dead_time: true,        // 600 < 1024
+        reload_interval: false, // no reload interval observed
+    },
+    Row {
+        why: "A returns immediately: classic conflict ping-pong",
+        tag: 0xB,
+        incoming: 0xA,
+        dead: 512,
+        reload: Some(1_100),
+        collins: true,
+        dead_time: true,
+        reload_interval: true,
+    },
+    Row {
+        why: "B returns: ping-pong continues; dead time at the last admitted tick",
+        tag: 0xA,
+        incoming: 0xB,
+        dead: 1_023, // counter reads 1 — still admitted
+        reload: Some(2_000),
+        collins: true,
+        dead_time: true,
+        reload_interval: true,
+    },
+    Row {
+        why: "streaming block C interrupts: one cycle past the dead-time threshold",
+        tag: 0xB,
+        incoming: 0xC,
+        dead: 1_024, // counter reads 2 — rejected
+        reload: Some(20_000),
+        collins: false, // last evicted was A, not C
+        dead_time: false,
+        reload_interval: false, // 20 000 >= 16 384
+    },
+    Row {
+        why: "C leaves long-dead and is never reloaded",
+        tag: 0xC,
+        incoming: 0xA,
+        dead: 100_000,
+        reload: None,
+        collins: false, // last evicted was B, not A
+        dead_time: false,
+        reload_interval: false,
+    },
+    Row {
+        why: "A evicted after a long dead time but a short reload interval: \
+              the filters disagree",
+        tag: 0xA,
+        incoming: 0xB,
+        dead: 5_000,
+        reload: Some(3_000),
+        collins: false, // last evicted was C, not B
+        dead_time: false,
+        reload_interval: true,
+    },
+    Row {
+        why: "the pair resumes: A comes straight back; reload interval just under 16 K",
+        tag: 0xB,
+        incoming: 0xA,
+        dead: 800,
+        reload: Some(16_383),
+        collins: true, // last evicted was A — it came straight back
+        dead_time: true,
+        reload_interval: true,
+    },
+];
+
+#[test]
+fn filters_classify_the_conflict_scenario_as_pinned() {
+    let mut collins = CollinsFilter::new();
+    let mut dead_time = DeadTimeFilter::paper_default();
+    let mut reload = ReloadIntervalFilter::new(16_384);
+    for (i, row) in TABLE.iter().enumerate() {
+        let info = eviction(row.tag, row.incoming, row.dead, row.reload);
+        assert_eq!(
+            collins.admit(&info),
+            row.collins,
+            "row {i} (collins): {}",
+            row.why
+        );
+        assert_eq!(
+            dead_time.admit(&info),
+            row.dead_time,
+            "row {i} (dead-time): {}",
+            row.why
+        );
+        assert_eq!(
+            reload.admit(&info),
+            row.reload_interval,
+            "row {i} (reload-interval): {}",
+            row.why
+        );
+    }
+}
+
+/// Collins history is per-set: an identical eviction in a different set
+/// sees no history and must reject, without disturbing the first set's.
+#[test]
+fn collins_history_is_per_set() {
+    let mut collins = CollinsFilter::new();
+    assert!(!collins.admit(&eviction(0xA, 0xB, 600, None)));
+    let mut other_set = eviction(0xB, 0xA, 512, None);
+    other_set.set_index = SET + 1;
+    assert!(!collins.admit(&other_set), "no history in the other set");
+    // Back in the original set, A still counts as the last eviction.
+    assert!(collins.admit(&eviction(0xB, 0xA, 512, None)));
+}
+
+/// The dead-time filter quantizes to global ticks exactly as the 2-bit
+/// hardware counter would: the paper's 1 K threshold with a 512-cycle
+/// tick admits counter values 0 and 1, i.e. dead times 0..=1023.
+#[test]
+fn dead_time_threshold_is_tick_quantized() {
+    let mut f = DeadTimeFilter::paper_default();
+    assert_eq!(f.max_ticks(), 1);
+    for (dead, admit) in [(0, true), (511, true), (1_023, true), (1_024, false)] {
+        assert_eq!(
+            f.admit(&eviction(0xA, 0xB, dead, None)),
+            admit,
+            "dead time {dead}"
+        );
+    }
+}
+
+#[test]
+fn filter_names_are_stable() {
+    assert_eq!(CollinsFilter::new().name(), "collins");
+    assert_eq!(
+        DeadTimeFilter::paper_default().name(),
+        "timekeeping (dead-time)"
+    );
+    assert_eq!(ReloadIntervalFilter::new(16_384).name(), "reload-interval");
+}

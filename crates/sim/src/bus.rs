@@ -28,6 +28,10 @@ pub struct Bus {
     next_free: Cycle,
     transfers: u64,
     busy_cycles: u64,
+    /// End of the most recently scheduled busy interval, kept only to
+    /// assert that intervals never overlap.
+    #[cfg(feature = "check-invariants")]
+    last_end: Cycle,
 }
 
 impl Bus {
@@ -43,6 +47,8 @@ impl Bus {
             next_free: Cycle::ZERO,
             transfers: 0,
             busy_cycles: 0,
+            #[cfg(feature = "check-invariants")]
+            last_end: Cycle::ZERO,
         }
     }
 
@@ -70,6 +76,16 @@ impl Bus {
     /// time (the data is across the bus at `start + occupancy`).
     pub fn schedule(&mut self, now: Cycle) -> Cycle {
         let start = now.max(self.next_free);
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                start >= self.last_end,
+                "bus busy intervals overlap: transfer at {start} starts \
+                 before the previous one ends at {}",
+                self.last_end
+            );
+            self.last_end = start + self.occupancy;
+        }
         self.next_free = start + self.occupancy;
         self.transfers += 1;
         self.busy_cycles += self.occupancy;

@@ -38,12 +38,13 @@ struct Way {
 /// use tk_sim::cache::{ProbeResult, SetAssocCache};
 /// use timekeeping::{Addr, CacheGeometry};
 ///
-/// let geom = CacheGeometry::new(1024, 2, 32).unwrap();
+/// let geom = CacheGeometry::new(1024, 2, 32)?;
 /// let mut c = SetAssocCache::new(geom);
 /// let a = Addr::new(0x40);
 /// assert!(matches!(c.probe(a), ProbeResult::Miss { .. }));
 /// c.fill(a);
 /// assert!(matches!(c.probe(a), ProbeResult::Hit(_)));
+/// # Ok::<(), timekeeping::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
@@ -114,10 +115,12 @@ impl SetAssocCache {
             if way.valid && way.tag == tag {
                 way.lru = self.stamp;
                 self.hits += 1;
+                self.debug_invariants(base, assoc);
                 return ProbeResult::Hit(base + w);
             }
         }
         let victim = self.choose_victim(base, assoc);
+        self.debug_invariants(base, assoc);
         ProbeResult::Miss {
             victim_frame: victim,
             evicted: self.line_in_frame(victim),
@@ -169,6 +172,7 @@ impl SetAssocCache {
             tag: self.geom.tag_of(addr),
             lru: self.stamp,
         };
+        self.debug_invariants(base, assoc);
         (victim, evicted)
     }
 
@@ -193,6 +197,7 @@ impl SetAssocCache {
             tag: self.geom.tag_of(addr),
             lru: self.stamp,
         };
+        self.debug_invariants(base, assoc);
         evicted
     }
 
@@ -223,6 +228,16 @@ impl SetAssocCache {
         frame as u64 / self.geom.assoc() as u64
     }
 
+    /// The valid lines of set `set` with their LRU stamps, in way order
+    /// (diagnostic accessor for the lockstep divergence report).
+    pub fn set_lines(&self, set: u64) -> Vec<(LineAddr, u64)> {
+        let assoc = self.geom.assoc() as usize;
+        let base = set as usize * assoc;
+        (base..base + assoc)
+            .filter_map(|f| self.line_in_frame(f).map(|l| (l, self.ways[f].lru)))
+            .collect()
+    }
+
     /// Invalidates `frame`, returning the line that was resident.
     pub fn invalidate(&mut self, frame: usize) -> Option<LineAddr> {
         let line = self.line_in_frame(frame);
@@ -234,6 +249,39 @@ impl SetAssocCache {
     pub fn occupancy(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Structural invariants of one set, asserted after every mutation
+    /// when the `check-invariants` feature is on: no duplicate valid tags
+    /// within the set, and no LRU stamp from the future.
+    #[cfg(feature = "check-invariants")]
+    fn debug_invariants(&self, base: usize, assoc: usize) {
+        for i in 0..assoc {
+            let a = &self.ways[base + i];
+            if !a.valid {
+                continue;
+            }
+            assert!(
+                a.lru <= self.stamp,
+                "LRU stamp {} in frame {} is ahead of the clock {}",
+                a.lru,
+                base + i,
+                self.stamp
+            );
+            for j in i + 1..assoc {
+                let b = &self.ways[base + j];
+                assert!(
+                    !(b.valid && b.tag == a.tag),
+                    "duplicate tag {:#x} in set {} (ways {i} and {j})",
+                    a.tag,
+                    base / assoc
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn debug_invariants(&self, _base: usize, _assoc: usize) {}
 }
 
 #[cfg(test)]
@@ -242,12 +290,12 @@ mod tests {
 
     fn dm_cache() -> SetAssocCache {
         // 4 sets, direct-mapped, 32 B blocks.
-        SetAssocCache::new(CacheGeometry::new(128, 1, 32).unwrap())
+        SetAssocCache::new(CacheGeometry::new(128, 1, 32).expect("valid test geometry"))
     }
 
     fn assoc_cache() -> SetAssocCache {
         // 2 sets, 2-way, 32 B blocks.
-        SetAssocCache::new(CacheGeometry::new(128, 2, 32).unwrap())
+        SetAssocCache::new(CacheGeometry::new(128, 2, 32).expect("valid test geometry"))
     }
 
     #[test]

@@ -213,9 +213,7 @@ impl std::fmt::Display for ConfigError {
                 "the cold-miss oracle (L1Mode::ColdOnly) cannot be combined with a victim \
                  cache, prefetcher, or decay"
             }
-            ConfigError::ZeroVictimThreshold => {
-                "victim-cache admission threshold must be nonzero"
-            }
+            ConfigError::ZeroVictimThreshold => "victim-cache admission threshold must be nonzero",
             ConfigError::ZeroDecayInterval => "decay interval must be nonzero",
         };
         f.write_str(s)
@@ -468,7 +466,8 @@ impl SystemConfig {
             self.collect_metrics,
             self.ignore_sw_prefetch,
             self.predict_only,
-            self.decay_interval.map_or("none".to_owned(), |d| d.to_string()),
+            self.decay_interval
+                .map_or("none".to_owned(), |d| d.to_string()),
             self.slack_prefetch,
         ));
         key

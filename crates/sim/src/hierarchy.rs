@@ -26,6 +26,7 @@ use crate::bus::Bus;
 use crate::cache::{ProbeResult, SetAssocCache};
 use crate::config::{L1Mode, PrefetchMode, SystemConfig, VictimMode};
 use crate::mshr::MshrFile;
+use crate::oracle::{FunctionalOracle, LockstepChecker, SimLevel, SimObservation};
 use crate::trace::MemRef;
 
 /// Result of one data-cache access.
@@ -202,6 +203,24 @@ struct VictimUnit {
     swap_fills: u64,
 }
 
+/// Per-access scratch recorded by the demand/prefetch paths for the
+/// lockstep checker (see [`crate::oracle`]). Reset before each checked
+/// access; the writes are unconditional because they are cheaper than
+/// branching on whether a checker is installed.
+#[derive(Debug, Default, Clone, Copy)]
+struct TapEvent {
+    /// Level that serviced an L1 miss (`None` until the miss path runs).
+    level: Option<SimLevel>,
+    /// Line evicted from the L1 by this event, if any.
+    evicted: Option<LineAddr>,
+    /// Whether a generation-boundary event (tracker evict) fired.
+    closed: bool,
+    /// Whether this was a decay refetch.
+    decay: bool,
+    /// Victim-filter admission decision, if an eviction was offered.
+    vc_admitted: Option<bool>,
+}
+
 /// The complete simulated memory system.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -229,6 +248,8 @@ pub struct MemorySystem {
     cold_seen: HashSet<u64>,
     last_tick: u64,
     stats: HierarchyStats,
+    evt: TapEvent,
+    checker: Option<Box<LockstepChecker>>,
 }
 
 impl MemorySystem {
@@ -301,7 +322,41 @@ impl MemorySystem {
             cold_seen: HashSet::new(),
             last_tick: 0,
             stats: HierarchyStats::default(),
+            evt: TapEvent::default(),
+            checker: None,
         }
+    }
+
+    /// Installs the functional-oracle lockstep checker (see
+    /// [`crate::oracle`]): every subsequent demand access, prefetch fill
+    /// and prefetch L2 touch is replayed into a timing-free reference
+    /// model, and any disagreement on hit/miss classification, level
+    /// serviced, evicted-line identity or generation boundaries panics
+    /// with a divergence report.
+    ///
+    /// Returns whether the checker was installed; configurations the
+    /// oracle cannot mirror (the cold-miss-only L1 study mode) are left
+    /// unchecked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has already performed accesses — the oracle
+    /// mirrors an empty hierarchy.
+    pub fn enable_lockstep_check(&mut self) -> bool {
+        assert_eq!(
+            self.stats.l1_accesses, 0,
+            "lockstep checker must be installed before any access"
+        );
+        if !FunctionalOracle::supports(&self.cfg) {
+            return false;
+        }
+        self.checker = Some(Box::new(LockstepChecker::new(&self.cfg)));
+        true
+    }
+
+    /// Whether the lockstep checker is installed.
+    pub fn lockstep_check_active(&self) -> bool {
+        self.checker.is_some()
     }
 
     /// The system configuration.
@@ -404,6 +459,35 @@ impl MemorySystem {
     /// (write-back, write-allocate); the caller decides whether to stall
     /// on the result.
     pub fn access(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
+        if self.checker.is_none() {
+            return self.access_inner(mref, is_store, now);
+        }
+        self.evt = TapEvent::default();
+        let out = self.access_inner(mref, is_store, now);
+        let evt = self.evt;
+        let level = if out.l1_hit {
+            SimLevel::L1
+        } else if out.vc_hit {
+            SimLevel::Victim
+        } else {
+            evt.level.expect("miss path records the serving level")
+        };
+        let obs = SimObservation {
+            addr: mref.addr,
+            level,
+            evicted: evt.evicted,
+            closed_generation: evt.closed,
+            decay_refetch: evt.decay,
+            vc_admitted: evt.vc_admitted,
+        };
+        let vc_lines = self.victim.as_ref().map(|v| v.cache.lines());
+        let mut chk = self.checker.take().expect("checked above");
+        chk.check_demand(&self.l1d, vc_lines.as_deref(), &obs);
+        self.checker = Some(chk);
+        out
+    }
+
+    fn access_inner(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
         self.stats.l1_accesses += 1;
         if self.cfg.l1_mode == L1Mode::ColdOnly {
             return self.access_cold_only(mref, now);
@@ -596,6 +680,7 @@ impl MemorySystem {
             let vc_hit = self.victim.as_mut().expect("checked").cache.take(line);
             if vc_hit {
                 self.stats.vc_hits += 1;
+                self.evt.evicted = evicted;
                 // Swap: close the displaced generation and move the block
                 // into the victim cache unfiltered (it is an exchange, not
                 // eviction traffic).
@@ -619,6 +704,7 @@ impl MemorySystem {
 
         // Merge with an outstanding demand miss for the same line.
         if let Some(ready) = self.demand_mshrs.lookup(line) {
+            self.evt.level = Some(SimLevel::InFlight);
             // The tag was filled by the first miss unless it was evicted in
             // between; refill if needed.
             if self.l1d.peek(mref.addr).is_none() {
@@ -634,6 +720,7 @@ impl MemorySystem {
         // A prefetch already in flight for this line: the demand takes
         // ownership of it.
         if let Some(pf_ready) = self.prefetch_mshrs.remove(line) {
+            self.evt.level = Some(SimLevel::InFlight);
             self.pf_queue.cancel_line(line);
             self.evict_and_fill(mref, line, set, now);
             let ready = pf_ready.max(now + 1);
@@ -694,6 +781,9 @@ impl MemorySystem {
             ProbeResult::Hit(_) => {
                 if demand {
                     self.stats.l2_hits += 1;
+                    self.evt.level = Some(SimLevel::L2);
+                } else {
+                    self.notify_prefetch_l2(addr, true);
                 }
                 let start = self.l1l2_bus.schedule(base);
                 self.l1l2_bus.done_at(start) + m.l2_latency
@@ -701,6 +791,9 @@ impl MemorySystem {
             ProbeResult::Miss { .. } => {
                 if demand {
                     self.stats.mem_accesses += 1;
+                    self.evt.level = Some(SimLevel::Mem);
+                } else {
+                    self.notify_prefetch_l2(addr, false);
                 }
                 let start1 = self.l1l2_bus.schedule(base);
                 let at_l2 = self.l1l2_bus.done_at(start1) + m.l2_latency;
@@ -730,6 +823,7 @@ impl MemorySystem {
         interval: u64,
         now: Cycle,
     ) -> AccessOutcome {
+        self.evt.decay = true;
         self.stats.decay_misses += 1;
         let off_at = last_use + interval;
         self.stats.decay_off_cycles += now.since(off_at);
@@ -795,6 +889,7 @@ impl MemorySystem {
     ) {
         let geom = *self.l1d.geometry();
         if let Some(rec) = self.tracker.evict(frame, now, cause) {
+            self.evt.closed = true;
             if self.cfg.collect_metrics {
                 self.metrics.on_generation(&rec);
             }
@@ -809,8 +904,17 @@ impl MemorySystem {
                     reload_interval: rec.reload_interval,
                     incoming_tag: incoming_tag.unwrap_or(u64::MAX),
                 };
-                v.cache.offer(v.filter.as_mut(), &info);
+                let admitted = v.cache.offer(v.filter.as_mut(), &info);
+                self.evt.vc_admitted = Some(admitted);
             }
+        }
+    }
+
+    /// Forwards a prefetch's L2 probe outcome to the lockstep checker.
+    fn notify_prefetch_l2(&mut self, addr: timekeeping::Addr, hit: bool) {
+        if let Some(mut chk) = self.checker.take() {
+            chk.check_prefetch_l2(addr, hit);
+            self.checker = Some(chk);
         }
     }
 
@@ -828,6 +932,7 @@ impl MemorySystem {
             }
         }
         let (frame, evicted) = self.l1d.fill(mref.addr);
+        self.evt.evicted = evicted;
         if let Some(ev) = evicted {
             self.close_generation(
                 frame,
@@ -1099,9 +1204,18 @@ impl MemorySystem {
                     self.writeback_if_dirty(victim_frame, at);
                 }
             }
+            if self.checker.is_some() {
+                self.evt = TapEvent::default();
+            }
             let (frame, evicted) = self.l1d.fill(addr);
             if let Some(ev) = evicted {
                 self.close_generation(frame, ev, at, EvictCause::Prefetch, None);
+            }
+            if self.checker.is_some() {
+                let (closed, admitted) = (self.evt.closed, self.evt.vc_admitted);
+                let mut chk = self.checker.take().expect("checked above");
+                chk.check_prefetch_fill(&self.l1d, line, evicted, closed, admitted);
+                self.checker = Some(chk);
             }
             self.stats.pf_fills += 1;
             // A prefetch fill is a generation start, and trains the

@@ -45,6 +45,7 @@ pub mod config;
 pub mod core;
 pub mod hierarchy;
 pub mod mshr;
+pub mod oracle;
 pub mod system;
 pub mod trace;
 
@@ -53,5 +54,6 @@ pub use config::{
 };
 pub use core::{CoreStats, OooCore};
 pub use hierarchy::{AccessOutcome, HierarchyStats, MemorySystem};
-pub use system::{run_workload, RunResult};
+pub use oracle::{lockstep_check_enabled, set_lockstep_check, FunctionalOracle, LockstepChecker};
+pub use system::{run_workload, run_workload_checked, RunResult, SimSystem};
 pub use trace::{Instr, MemRef, Workload};

@@ -128,13 +128,39 @@ impl MshrFile {
             self.entries.len() <= self.capacity,
             "MSHR overflow: callers must queue when full"
         );
+        self.debug_invariants();
     }
 
     /// Removes the entry for `line` (e.g. a prefetch superseded by a
     /// demand fetch taking ownership). Returns its completion time.
     pub fn remove(&mut self, line: LineAddr) -> Option<Cycle> {
-        self.entries.remove(&line.get())
+        let r = self.entries.remove(&line.get());
+        self.debug_invariants();
+        r
     }
+
+    /// File-wide invariants, asserted after every mutation when the
+    /// `check-invariants` feature is on: occupancy within capacity, and
+    /// every resident entry accounted for by an allocation.
+    #[cfg(feature = "check-invariants")]
+    fn debug_invariants(&self) {
+        assert!(
+            self.entries.len() <= self.capacity,
+            "MSHR occupancy {} exceeds capacity {}",
+            self.entries.len(),
+            self.capacity
+        );
+        assert!(
+            self.entries.len() as u64 <= self.allocations,
+            "MSHR holds {} entries but only {} were ever allocated",
+            self.entries.len(),
+            self.allocations
+        );
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn debug_invariants(&self) {}
 }
 
 #[cfg(test)]

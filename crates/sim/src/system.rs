@@ -118,21 +118,85 @@ pub fn run_workload<W: Workload + ?Sized>(
     cfg: SystemConfig,
     instructions: u64,
 ) -> RunResult {
-    let mut core = OooCore::new(&cfg);
-    let mut mem = MemorySystem::new(cfg);
-    let core_stats = core.run(workload, &mut mem, instructions);
-    RunResult {
-        workload: workload.name().to_owned(),
-        core: core_stats,
-        hierarchy: mem.stats(),
-        breakdown: mem.miss_breakdown(),
-        victim: mem.victim_stats(),
-        victim_swap_fills: mem.victim_swap_fills(),
-        timeliness: *mem.timeliness(),
-        correlation: mem.correlation_stats(),
-        dbcp: mem.dbcp_stats(),
-        pf_queue_discards: mem.pf_queue_discards(),
-        metrics: std::mem::take(mem.metrics_mut()),
+    let mut sys = if crate::oracle::lockstep_check_enabled() {
+        SimSystem::checked(cfg)
+    } else {
+        SimSystem::new(cfg)
+    };
+    sys.run(workload, instructions)
+}
+
+/// Like [`run_workload`], but with the functional-oracle lockstep checker
+/// installed (when the configuration supports it): every access is
+/// replayed into a timing-free reference model and any divergence panics
+/// with a diagnostic report. See [`crate::oracle`].
+pub fn run_workload_checked<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: SystemConfig,
+    instructions: u64,
+) -> RunResult {
+    SimSystem::checked(cfg).run(workload, instructions)
+}
+
+/// A constructed simulation — core plus memory system — with an explicit
+/// check mode.
+///
+/// [`run_workload`] covers the common one-shot case; `SimSystem` is for
+/// callers that need to decide up front whether the run is self-verifying
+/// ([`SimSystem::checked`]) or inspect the memory system afterwards.
+#[derive(Debug)]
+pub struct SimSystem {
+    core: OooCore,
+    mem: MemorySystem,
+}
+
+impl SimSystem {
+    /// Builds an unchecked simulation of `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let core = OooCore::new(&cfg);
+        let mem = MemorySystem::new(cfg);
+        SimSystem { core, mem }
+    }
+
+    /// Builds a simulation with the lockstep checker installed.
+    ///
+    /// Configurations the oracle cannot mirror (the cold-miss-only L1
+    /// study mode) run unchecked; [`SimSystem::is_checked`] reports what
+    /// happened.
+    pub fn checked(cfg: SystemConfig) -> Self {
+        let mut sys = Self::new(cfg);
+        sys.mem.enable_lockstep_check();
+        sys
+    }
+
+    /// Whether the lockstep checker is active.
+    pub fn is_checked(&self) -> bool {
+        self.mem.lockstep_check_active()
+    }
+
+    /// The memory system (for post-run inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Runs `instructions` instructions of `workload` and collects the
+    /// results. Draining the metrics means a `SimSystem` runs once.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, instructions: u64) -> RunResult {
+        let core_stats = self.core.run(workload, &mut self.mem, instructions);
+        let mem = &mut self.mem;
+        RunResult {
+            workload: workload.name().to_owned(),
+            core: core_stats,
+            hierarchy: mem.stats(),
+            breakdown: mem.miss_breakdown(),
+            victim: mem.victim_stats(),
+            victim_swap_fills: mem.victim_swap_fills(),
+            timeliness: *mem.timeliness(),
+            correlation: mem.correlation_stats(),
+            dbcp: mem.dbcp_stats(),
+            pf_queue_discards: mem.pf_queue_discards(),
+            metrics: std::mem::take(mem.metrics_mut()),
+        }
     }
 }
 

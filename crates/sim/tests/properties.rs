@@ -96,6 +96,47 @@ proptest! {
     }
 }
 
+proptest! {
+    /// probe/fill/invalidate agree with the reference model under a mixed
+    /// op stream: invalidated lines miss on re-access, and the cache never
+    /// resurrects a line the model dropped.
+    #[test]
+    fn cache_matches_reference_with_invalidate(
+        ops in vec((0u64..512, any::<bool>()), 1..400),
+        assoc_log in 0u32..3,
+    ) {
+        let geom = CacheGeometry::new(1024, 1 << assoc_log, 32).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        let mut reference = RefCache::new(geom);
+        for &(raw, is_invalidate) in &ops {
+            let addr = Addr::new(raw * 32);
+            if is_invalidate {
+                let set = &mut reference.sets[geom.index_of(addr) as usize];
+                let tag = geom.tag_of(addr);
+                let expected = set.iter().position(|&t| t == tag).map(|i| {
+                    set.remove(i);
+                });
+                match cache.peek(addr) {
+                    Some(frame) => {
+                        prop_assert!(expected.is_some(), "cache holds a line the model dropped");
+                        prop_assert_eq!(cache.invalidate(frame), Some(geom.line_of(addr)));
+                    }
+                    None => prop_assert!(expected.is_none(), "model holds a line the cache lost"),
+                }
+            } else {
+                let expected_hit = reference.access(addr);
+                match cache.probe(addr) {
+                    ProbeResult::Hit(_) => prop_assert!(expected_hit),
+                    ProbeResult::Miss { .. } => {
+                        prop_assert!(!expected_hit);
+                        cache.fill(addr);
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------- MSHRs
 
 proptest! {
@@ -218,6 +259,45 @@ proptest! {
         prop_assert!(eight >= four - 1e-9, "8-wide {eight} < 4-wide {four}");
     }
 
+}
+
+// ------------------------------------------------- snapshot round-trip
+
+use timekeeping::snapshot::{Json, Snapshot};
+use tk_sim::{PrefetchMode, RunResult, VictimMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// A complete `RunResult` — core, hierarchy, breakdown, metrics and
+    /// any victim/prefetch extras — serializes to JSON and back
+    /// bit-exactly, for runs on machines that populate the optional
+    /// sections as well as the base machine.
+    #[test]
+    fn run_result_snapshot_roundtrips(
+        stride_log in 3u32..8,
+        footprint_log in 13u32..20,
+        machine in 0usize..3,
+    ) {
+        let cfg = match machine {
+            0 => SystemConfig::base(),
+            1 => SystemConfig::with_victim(VictimMode::Collins),
+            _ => SystemConfig::with_prefetch(PrefetchMode::Stride(
+                timekeeping::StrideConfig::default(),
+            )),
+        };
+        let mut w = ParamStream {
+            pos: 0,
+            stride: 1 << stride_log,
+            footprint: 1 << footprint_log,
+        };
+        let r = run_workload(&mut w, cfg, 20_000);
+        let doc = r.to_json().render();
+        let parsed = Json::parse(&doc).expect("rendered snapshots parse back");
+        prop_assert_eq!(parsed.render(), &doc, "render→parse→render changed the text");
+        let back = RunResult::from_json(&parsed).expect("snapshot shape matches");
+        prop_assert_eq!(&back, &r, "from_json(to_json(r)) != r");
+        prop_assert_eq!(back.to_json().render(), doc);
+    }
 }
 
 proptest! {

@@ -1,0 +1,80 @@
+//! Oracle lockstep sweep: the cycle simulator agrees with the
+//! timing-free `FunctionalOracle` on every access of every workload.
+//!
+//! Each run here executes with the lockstep checker installed
+//! ([`tk_sim::run_workload_checked`]): any disagreement on hit/miss
+//! classification, level serviced, evicted-line identity or generation
+//! boundaries panics with a divergence report, so these tests pass only
+//! if the two models track each other exactly.
+
+use tk_bench::FigureOpts;
+use tk_sim::{run_workload_checked, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+fn checked(bench: SpecBenchmark, cfg: SystemConfig, instructions: u64) {
+    let mut w = bench.build(1);
+    let r = run_workload_checked(&mut w, cfg, instructions);
+    assert_eq!(r.core.instructions, instructions, "{}", bench.name());
+}
+
+/// All 26 workloads under the base machine at the quick budget.
+#[test]
+fn all_workloads_base_config() {
+    for &b in &SpecBenchmark::ALL {
+        checked(b, SystemConfig::base(), FigureOpts::QUICK_INSTRUCTIONS);
+    }
+}
+
+/// Victim-cache configurations (swap path, filters, admission mirror).
+#[test]
+fn victim_cache_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    for victim in [
+        VictimMode::Unfiltered,
+        VictimMode::Collins,
+        VictimMode::paper_dead_time(),
+        VictimMode::AdaptiveDeadTime,
+        VictimMode::ReloadInterval { threshold: 4096 },
+    ] {
+        for b in [SpecBenchmark::Mcf, SpecBenchmark::Gzip, SpecBenchmark::Art] {
+            checked(b, SystemConfig::with_victim(victim), budget);
+        }
+    }
+}
+
+/// Prefetcher configurations (prefetch fills and prefetch L2 touches).
+#[test]
+fn prefetch_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    let modes = [
+        PrefetchMode::Timekeeping(timekeeping::CorrelationConfig::PAPER_8KB),
+        PrefetchMode::Dbcp(timekeeping::DbcpConfig::PAPER_2MB),
+        PrefetchMode::Stride(timekeeping::StrideConfig::default()),
+    ];
+    for mode in modes {
+        for b in [SpecBenchmark::Mcf, SpecBenchmark::Swim, SpecBenchmark::Gcc] {
+            checked(b, SystemConfig::with_prefetch(mode), budget);
+        }
+    }
+}
+
+/// Cache decay (generation close at switch-off, refetch without evict).
+#[test]
+fn decay_config() {
+    for b in [SpecBenchmark::Mcf, SpecBenchmark::Gzip] {
+        checked(
+            b,
+            SystemConfig::with_decay(8_192),
+            FigureOpts::QUICK_INSTRUCTIONS / 2,
+        );
+    }
+}
+
+/// The cold-miss-only study mode has no tag array to mirror: the oracle
+/// declines it rather than diverging.
+#[test]
+fn cold_only_mode_runs_unchecked() {
+    let mut w = SpecBenchmark::Gzip.build(1);
+    let r = run_workload_checked(&mut w, SystemConfig::ideal(), 50_000);
+    assert_eq!(r.core.instructions, 50_000);
+}

@@ -77,7 +77,12 @@ fn result_order_follows_submission_order() {
     assert_eq!(results.len(), jobs.len());
     for (job, result) in jobs.iter().zip(&results) {
         let expected = serial_reference(job.bench, job.cfg, job.seed, job.instructions);
-        assert_eq!(&expected, &**result, "slot for {} out of order", job.bench.name());
+        assert_eq!(
+            &expected,
+            &**result,
+            "slot for {} out of order",
+            job.bench.name()
+        );
     }
 }
 
@@ -121,7 +126,11 @@ fn memo_simulates_each_distinct_tuple_once() {
     let suite2 = run_suite(SystemConfig::base(), opts);
     let one = run_bench(SpecBenchmark::Mcf, SystemConfig::base(), opts);
     let (memo_hits, _, sims) = engine::memo_stats();
-    assert_eq!(sims, SpecBenchmark::ALL.len() as u64, "suite re-run must be free");
+    assert_eq!(
+        sims,
+        SpecBenchmark::ALL.len() as u64,
+        "suite re-run must be free"
+    );
     assert_eq!(memo_hits, SpecBenchmark::ALL.len() as u64 + 1);
     assert_eq!(suite, suite2);
     let mcf = suite
