@@ -12,11 +12,87 @@
 #[cfg(feature = "criterion-benches")]
 mod suite {
     use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
-    use timekeeping::CorrelationConfig;
-    use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+    use timekeeping::{CorrelationConfig, Cycle};
+    use tk_sim::trace::{MemRef, Workload};
+    use tk_sim::{run_workload, Instr, MemorySystem, PrefetchMode, SystemConfig, VictimMode};
     use tk_workloads::SpecBenchmark;
 
     const INSTS: u64 = 200_000;
+    const ACCESSES: u64 = 100_000;
+
+    /// Pre-generates a mixed demand-reference stream (gcc/mcf/swim
+    /// round-robin), so the access-path bench excludes workload
+    /// generation cost. Mirrors `src/bin/pipeline_bench.rs`.
+    fn reference_stream(accesses: u64) -> Vec<(MemRef, bool)> {
+        let mut refs = Vec::with_capacity(accesses as usize);
+        let mut sources = [
+            SpecBenchmark::Gcc.build(1),
+            SpecBenchmark::Mcf.build(1),
+            SpecBenchmark::Swim.build(1),
+        ];
+        'outer: loop {
+            for w in &mut sources {
+                loop {
+                    match w.next_instr() {
+                        Instr::Op => continue,
+                        Instr::Store(m) => {
+                            refs.push((m, true));
+                            break;
+                        }
+                        Instr::Load(m) | Instr::ChainedLoad(m) | Instr::SwPrefetch(m) => {
+                            refs.push((m, false));
+                            break;
+                        }
+                    }
+                }
+                if refs.len() as u64 >= accesses {
+                    break 'outer;
+                }
+            }
+        }
+        refs
+    }
+
+    /// Raw `MemorySystem::access` throughput — the staged pipeline hot
+    /// path with no out-of-order core in front. The wall-clock numbers
+    /// for offline environments live in `BENCH_pipeline.json`
+    /// (regenerate with `--bin pipeline_bench`).
+    fn bench_access_path(c: &mut Criterion) {
+        let refs = reference_stream(ACCESSES);
+        let mut g = c.benchmark_group("access_path");
+        g.throughput(Throughput::Elements(refs.len() as u64));
+        g.sample_size(10);
+        let cases: [(&str, SystemConfig); 4] = [
+            ("base", SystemConfig::base()),
+            (
+                "victim_deadtime",
+                SystemConfig::with_victim(VictimMode::paper_dead_time()),
+            ),
+            (
+                "tk_prefetch",
+                SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+                    CorrelationConfig::PAPER_8KB,
+                )),
+            ),
+            ("decay", SystemConfig::with_decay(8_192)),
+        ];
+        for (name, cfg) in cases {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
+                b.iter(|| {
+                    let mut sys = MemorySystem::new(cfg);
+                    let mut now = 0u64;
+                    for (m, store) in &refs {
+                        sys.advance(Cycle::new(now));
+                        let out = sys.access(m, *store, Cycle::new(now));
+                        now = out.ready_at.get().max(now + 1);
+                    }
+                    sys.finish(Cycle::new(now));
+                    black_box(sys.stats().l1_miss_rate())
+                });
+            });
+        }
+        g.finish();
+    }
 
     fn bench_simulation_throughput(c: &mut Criterion) {
         let mut g = c.benchmark_group("simulate");
@@ -54,7 +130,7 @@ mod suite {
         g.finish();
     }
 
-    criterion_group!(benches, bench_simulation_throughput);
+    criterion_group!(benches, bench_simulation_throughput, bench_access_path);
 
     pub fn run() {
         benches();

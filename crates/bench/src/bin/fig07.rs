@@ -1,6 +1,3 @@
 //! Regenerates Figure 07 of the paper. Optional first argument: the
 //! instruction budget per simulation run.
-use tk_bench::{figures, FigureOpts};
-fn main() {
-    println!("{}", figures::fig07(FigureOpts::from_args()));
-}
+tk_bench::figure_main!(fig07);

@@ -1,0 +1,109 @@
+//! Access-path throughput microbenchmark.
+//!
+//! Drives `MemorySystem::access`/`advance` directly (no out-of-order core
+//! in front) with the memory references of a deterministic workload mix,
+//! and reports nanoseconds per access and accesses per second for each
+//! representative configuration. This is the wall-clock complement to the
+//! feature-gated Criterion benches (`benches/simulator.rs`): it runs in
+//! offline environments and backs the numbers recorded in
+//! `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p tk-bench --bin pipeline_bench [-- ACCESSES]
+//! ```
+
+use std::time::Instant;
+
+use timekeeping::{CorrelationConfig, Cycle, DbcpConfig};
+use tk_sim::trace::Workload;
+use tk_sim::{Instr, MemorySystem, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+/// One timed configuration.
+fn case(name: &str, cfg: SystemConfig, accesses: u64) -> (String, f64) {
+    // Pre-generate the reference stream so generation cost is excluded.
+    let mut refs = Vec::with_capacity(accesses as usize);
+    let mut sources = [
+        SpecBenchmark::Gcc.build(1),
+        SpecBenchmark::Mcf.build(1),
+        SpecBenchmark::Swim.build(1),
+    ];
+    'outer: loop {
+        for w in &mut sources {
+            loop {
+                match w.next_instr() {
+                    Instr::Op => continue,
+                    i => {
+                        let (m, store) = match i {
+                            Instr::Store(m) => (m, true),
+                            Instr::Load(m) | Instr::ChainedLoad(m) | Instr::SwPrefetch(m) => {
+                                (m, false)
+                            }
+                            Instr::Op => unreachable!(),
+                        };
+                        refs.push((m, store));
+                        break;
+                    }
+                }
+            }
+            if refs.len() as u64 >= accesses {
+                break 'outer;
+            }
+        }
+    }
+    let mut sys = MemorySystem::new(cfg);
+    let t0 = Instant::now();
+    let mut now = 0u64;
+    for (m, store) in &refs {
+        sys.advance(Cycle::new(now));
+        let out = sys.access(m, *store, Cycle::new(now));
+        // A dependent stream: each access starts when the previous one's
+        // data is ready, so misses exercise the full timing path.
+        now = out.ready_at.get().max(now + 1);
+    }
+    sys.finish(Cycle::new(now));
+    let elapsed = t0.elapsed();
+    let ns = elapsed.as_nanos() as f64 / refs.len() as f64;
+    // Fold a live counter into the report so the simulation cannot be
+    // optimized away and runs are comparable.
+    (
+        format!(
+            "{name:<16} {ns:8.1} ns/access  {:9.2} M acc/s  (l1_miss_rate {:.4})",
+            1e3 / ns,
+            sys.stats().l1_miss_rate()
+        ),
+        ns,
+    )
+}
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("ACCESSES must be an unsigned integer"))
+        .unwrap_or(2_000_000);
+    let cases = [
+        ("base", SystemConfig::base()),
+        (
+            "victim_deadtime",
+            SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        ),
+        (
+            "victim_collins",
+            SystemConfig::with_victim(VictimMode::Collins),
+        ),
+        (
+            "tk_prefetch",
+            SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
+        ),
+        (
+            "dbcp_prefetch",
+            SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
+        ),
+        ("decay", SystemConfig::with_decay(8_192)),
+    ];
+    println!("access-path throughput ({accesses} accesses per config)");
+    for (name, cfg) in cases {
+        let (line, _) = case(name, cfg, accesses);
+        println!("{line}");
+    }
+}

@@ -1,8 +1,2 @@
 //! Prints Table 1 (simulated machine configuration).
-fn main() {
-    if let Some(arg) = std::env::args().nth(1) {
-        eprintln!("error: table1 takes no arguments (got `{arg}`)");
-        std::process::exit(2);
-    }
-    println!("{}", tk_bench::figures::table1());
-}
+tk_bench::figure_main!(table1, no_args);

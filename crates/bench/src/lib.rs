@@ -24,3 +24,44 @@ pub mod runner;
 
 pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};
 pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};
+
+/// Expands to the `main` of a figure/table binary.
+///
+/// Every `src/bin/figNN` stub is this one macro call, so the CLI contract
+/// (one optional instruction-budget argument plus the shared
+/// [`FigureOpts`] flags) cannot drift between figures:
+///
+/// ```ignore
+/// tk_bench::figure_main!(fig19);
+/// ```
+///
+/// Argument-free reports (Table 1) use the `no_args` form, which rejects
+/// any command-line argument with exit code 2:
+///
+/// ```ignore
+/// tk_bench::figure_main!(table1, no_args);
+/// ```
+#[macro_export]
+macro_rules! figure_main {
+    ($fig:ident) => {
+        fn main() {
+            println!("{}", $crate::figures::$fig($crate::FigureOpts::from_args()));
+        }
+    };
+    ($fig:ident, no_args) => {
+        fn main() {
+            if let Some(arg) = std::env::args().nth(1) {
+                eprintln!(
+                    concat!(
+                        "error: ",
+                        stringify!($fig),
+                        " takes no arguments (got `{}`)"
+                    ),
+                    arg
+                );
+                std::process::exit(2);
+            }
+            println!("{}", $crate::figures::$fig());
+        }
+    };
+}

@@ -20,8 +20,6 @@
 //! reference by the workload substrate. A 2-bit confidence counter gates
 //! prefetch issue, as in the original's two-bit saturating vote.
 
-use std::collections::HashMap;
-
 use crate::addr::{LineAddr, Pc};
 use crate::snapshot::{Json, Snapshot, SnapshotError};
 
@@ -165,8 +163,9 @@ pub struct Dbcp {
     frames: Vec<FrameSig>,
     stamp: u64,
     stats: DbcpStats,
-    /// Suppresses repeat prefetches for the same (frame, signature).
-    issued_for: HashMap<usize, u64>,
+    /// Suppresses repeat prefetches for the same (frame, signature):
+    /// the signature last prefetched for, indexed by frame.
+    issued_for: Vec<Option<u64>>,
 }
 
 impl Dbcp {
@@ -179,7 +178,7 @@ impl Dbcp {
             frames: vec![FrameSig::default(); num_frames],
             stamp: 0,
             stats: DbcpStats::default(),
-            issued_for: HashMap::new(),
+            issued_for: vec![None; num_frames],
         }
     }
 
@@ -239,10 +238,10 @@ impl Dbcp {
             return None;
         }
         // Only prefetch once per signature match per generation.
-        if self.issued_for.get(&frame) == Some(&sig) {
+        if self.issued_for[frame] == Some(sig) {
             return None;
         }
-        self.issued_for.insert(frame, sig);
+        self.issued_for[frame] = Some(sig);
         self.stats.prefetches += 1;
         Some(LineAddr::new(next))
     }
@@ -287,7 +286,7 @@ impl Dbcp {
                 };
             }
         }
-        self.issued_for.remove(&frame);
+        self.issued_for[frame] = None;
         self.frames[frame] = FrameSig {
             line: Some(new_line),
             signature: 0,

@@ -16,11 +16,10 @@
 //!    |------------------ reload interval ----------------------|
 //! ```
 //!
-//! [`GenerationTracker`] performs this bookkeeping for every frame of a
-//! cache and for the per-line history (previous generation start, live and
-//! dead time) that the paper's conflict-miss predictors consume.
-
-use std::collections::HashMap;
+//! This module defines the event vocabulary ([`EvictCause`],
+//! [`GenerationRecord`]); the bookkeeping itself lives in the unified
+//! per-line metadata plane, [`crate::meta::LinePlane`], of which
+//! [`GenerationTracker`] is an alias.
 
 use crate::addr::LineAddr;
 use crate::time::Cycle;
@@ -81,238 +80,12 @@ impl GenerationRecord {
     }
 }
 
-/// Per-line summary of the most recently *completed* generation.
-///
-/// The paper correlates a miss with "the timekeeping metrics of the last
-/// generation of the cache line that suffers the miss" (§4); this is exactly
-/// the state needed at miss time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LineHistory {
-    /// Start time of the line's most recent generation (completed or open).
-    pub last_start: Cycle,
-    /// Live time of the most recently completed generation.
-    pub last_live_time: u64,
-    /// Dead time of the most recently completed generation.
-    pub last_dead_time: u64,
-    /// Whether at least one generation of this line has completed.
-    pub completed: bool,
-}
-
-/// Open state of one cache frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct OpenGeneration {
-    line: LineAddr,
-    start: Cycle,
-    last_use: Cycle,
-    accesses: u32,
-    max_access_interval: u64,
-    reload_interval: Option<u64>,
-    prev_live_time: Option<u64>,
-}
-
 /// Tracks generations for every frame of one cache plus per-line history.
 ///
-/// Drive it with [`fill`](GenerationTracker::fill),
-/// [`hit`](GenerationTracker::hit) and [`evict`](GenerationTracker::evict)
-/// from the owning cache model. All methods take the current cycle.
-///
-/// # Examples
-///
-/// ```
-/// use timekeeping::{Cycle, EvictCause, GenerationTracker, LineAddr};
-///
-/// let mut t = GenerationTracker::new(4);
-/// let line = LineAddr::new(7);
-/// t.fill(0, line, Cycle::new(100));
-/// t.hit(0, Cycle::new(150));
-/// t.hit(0, Cycle::new(220));
-/// let rec = t.evict(0, Cycle::new(1000), EvictCause::Demand).unwrap();
-/// assert_eq!(rec.live_time, 120); // 100 -> 220
-/// assert_eq!(rec.dead_time, 780); // 220 -> 1000
-/// assert_eq!(rec.accesses, 3);
-/// assert_eq!(rec.max_access_interval, 70);
-/// ```
-#[derive(Debug, Clone)]
-pub struct GenerationTracker {
-    frames: Vec<Option<OpenGeneration>>,
-    lines: HashMap<u64, LineHistory>,
-}
-
-impl GenerationTracker {
-    /// Creates a tracker for a cache with `num_frames` block frames.
-    pub fn new(num_frames: usize) -> Self {
-        GenerationTracker {
-            frames: vec![None; num_frames],
-            lines: HashMap::new(),
-        }
-    }
-
-    /// Number of frames tracked.
-    pub fn num_frames(&self) -> usize {
-        self.frames.len()
-    }
-
-    /// Begins a generation: `line` fills `frame` at time `now`.
-    ///
-    /// Returns the reload interval (time since the previous generation of
-    /// the same line began), if this line has been resident before.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame still holds an open generation (callers must
-    /// [`evict`](Self::evict) first) or if `frame` is out of range.
-    pub fn fill(&mut self, frame: usize, line: LineAddr, now: Cycle) -> Option<u64> {
-        assert!(
-            self.frames[frame].is_none(),
-            "fill into occupied frame {frame}"
-        );
-        let (reload_interval, prev_live_time) = match self.lines.get_mut(&line.get()) {
-            Some(h) => {
-                let ri = now.since(h.last_start);
-                let plt = h.completed.then_some(h.last_live_time);
-                h.last_start = now;
-                (Some(ri), plt)
-            }
-            None => {
-                self.lines.insert(
-                    line.get(),
-                    LineHistory {
-                        last_start: now,
-                        last_live_time: 0,
-                        last_dead_time: 0,
-                        completed: false,
-                    },
-                );
-                (None, None)
-            }
-        };
-        self.frames[frame] = Some(OpenGeneration {
-            line,
-            start: now,
-            last_use: now,
-            accesses: 1,
-            max_access_interval: 0,
-            reload_interval,
-            prev_live_time,
-        });
-        reload_interval
-    }
-
-    /// Records a successful use (hit) of the block in `frame` at `now`.
-    ///
-    /// Returns the access interval since the previous use.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame has no open generation.
-    pub fn hit(&mut self, frame: usize, now: Cycle) -> u64 {
-        let g = self.frames[frame].as_mut().expect("hit on empty frame");
-        let interval = now.since(g.last_use);
-        g.last_use = now;
-        g.accesses += 1;
-        g.max_access_interval = g.max_access_interval.max(interval);
-        interval
-    }
-
-    /// Ends the generation in `frame` at `now`, returning its record.
-    ///
-    /// Returns `None` if the frame holds no open generation (e.g. a cold
-    /// frame being filled for the first time).
-    pub fn evict(
-        &mut self,
-        frame: usize,
-        now: Cycle,
-        cause: EvictCause,
-    ) -> Option<GenerationRecord> {
-        let g = self.frames[frame].take()?;
-        let live_time = g.last_use.since(g.start);
-        let dead_time = now.since(g.last_use);
-        // Cross-check the timekeeping arithmetic: live + dead must tile
-        // the generation exactly, and the last use must fall inside it.
-        #[cfg(feature = "check-invariants")]
-        {
-            assert!(
-                g.start <= g.last_use && g.last_use <= now,
-                "generation in frame {frame}: last use {} outside [{}, {now}]",
-                g.last_use,
-                g.start
-            );
-            assert_eq!(
-                live_time + dead_time,
-                now.since(g.start),
-                "generation in frame {frame}: live {live_time} + dead \
-                 {dead_time} does not tile [{}, {now}]",
-                g.start
-            );
-            assert!(
-                g.max_access_interval <= live_time,
-                "generation in frame {frame}: max access interval {} \
-                 exceeds live time {live_time}",
-                g.max_access_interval
-            );
-        }
-        let rec = GenerationRecord {
-            line: g.line,
-            frame,
-            start: g.start,
-            end: now,
-            live_time,
-            dead_time,
-            accesses: g.accesses,
-            max_access_interval: g.max_access_interval,
-            reload_interval: g.reload_interval,
-            prev_live_time: g.prev_live_time,
-            cause,
-        };
-        let h = self
-            .lines
-            .get_mut(&g.line.get())
-            .expect("open generation must have line history");
-        h.last_live_time = live_time;
-        h.last_dead_time = dead_time;
-        h.completed = true;
-        Some(rec)
-    }
-
-    /// The line currently resident in `frame`, if any.
-    pub fn resident(&self, frame: usize) -> Option<LineAddr> {
-        self.frames[frame].map(|g| g.line)
-    }
-
-    /// Time of the last use of the block in `frame`, if the frame is live.
-    ///
-    /// `now - last_use(frame)` is the *idle time* that the decay-style
-    /// dead-block predictor thresholds (§5.1.1).
-    pub fn last_use(&self, frame: usize) -> Option<Cycle> {
-        self.frames[frame].map(|g| g.last_use)
-    }
-
-    /// Start time of the open generation in `frame`, if any.
-    pub fn generation_start(&self, frame: usize) -> Option<Cycle> {
-        self.frames[frame].map(|g| g.start)
-    }
-
-    /// History of the most recent completed generation for `line`.
-    ///
-    /// This is what a miss to `line` consults: its previous generation's
-    /// live time, dead time, and (via `last_start`) reload interval.
-    pub fn line_history(&self, line: LineAddr) -> Option<&LineHistory> {
-        self.lines.get(&line.get())
-    }
-
-    /// Number of distinct lines ever observed.
-    pub fn lines_seen(&self) -> usize {
-        self.lines.len()
-    }
-
-    /// Closes every open generation at `now` with [`EvictCause::Flush`],
-    /// returning the records. Used at end of simulation.
-    pub fn flush(&mut self, now: Cycle) -> Vec<GenerationRecord> {
-        (0..self.frames.len())
-            .filter_map(|f| self.evict(f, now, EvictCause::Flush))
-            .collect()
-    }
-}
+/// An alias of the unified metadata plane — see
+/// [`LinePlane`](crate::meta::LinePlane) for the full API (the plane also
+/// records L2-side access intervals).
+pub type GenerationTracker = crate::meta::LinePlane;
 
 #[cfg(test)]
 mod tests {
@@ -358,7 +131,7 @@ mod tests {
         let rec = t.evict(0, Cycle::new(400), EvictCause::Demand).unwrap();
         assert_eq!(rec.prev_live_time, Some(40));
         assert_eq!(rec.live_time, 60);
-        let h = t.line_history(line(9)).unwrap();
+        let h = t.line_meta(line(9)).unwrap();
         assert_eq!(h.last_live_time, 60);
         assert_eq!(h.last_dead_time, 140);
         assert!(h.completed);

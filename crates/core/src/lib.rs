@@ -72,6 +72,7 @@ pub mod histogram;
 pub mod hwcost;
 pub mod l2monitor;
 pub mod markov;
+pub mod meta;
 pub mod metrics;
 pub mod predictor;
 pub mod prefetch;
@@ -84,10 +85,11 @@ pub use addr::{Addr, CacheGeometry, GeometryError, LineAddr, Pc};
 pub use classify::{FullyAssocShadow, MissBreakdown, MissKind};
 pub use correlation::{CorrelationConfig, CorrelationStats, CorrelationTable, Prediction};
 pub use dbcp::{Dbcp, DbcpConfig, DbcpStats};
-pub use generation::{EvictCause, GenerationRecord, GenerationTracker, LineHistory};
+pub use generation::{EvictCause, GenerationRecord, GenerationTracker};
 pub use histogram::Histogram;
 pub use l2monitor::L2IntervalMonitor;
 pub use markov::{Markov, MarkovConfig, MarkovStats};
+pub use meta::{DetBuildHasher, DetHasher, LineMap, LineMeta, LinePlane, LineSet};
 pub use metrics::{LiveTimeVariability, MetricsCollector};
 pub use predictor::{
     AccuracyCoverage, DeadTimeConflictPredictor, DecayDeadBlockSweep, LiveTimeDeadBlockPredictor,

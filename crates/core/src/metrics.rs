@@ -8,8 +8,9 @@
 //! needed to regenerate Figures 4, 5, 7–11 and 14–16 in one simulation run.
 
 use crate::classify::MissKind;
-use crate::generation::{GenerationRecord, LineHistory};
+use crate::generation::GenerationRecord;
 use crate::histogram::Histogram;
+use crate::meta::LineMeta;
 use crate::predictor::accuracy::{AccuracyCoverage, SweepPoint};
 use crate::predictor::dead_block::{DecayDeadBlockSweep, LiveTimeDeadBlockPredictor};
 use crate::snapshot::{Json, Snapshot, SnapshotError};
@@ -235,7 +236,7 @@ impl MetricsCollector {
     pub fn on_miss(
         &mut self,
         kind: MissKind,
-        history: Option<&LineHistory>,
+        history: Option<&LineMeta>,
         reload_interval: Option<u64>,
     ) {
         let Some(h) = history.filter(|h| h.completed) else {
@@ -439,12 +440,12 @@ mod tests {
         }
     }
 
-    fn history(live: u64, dead: u64) -> LineHistory {
-        LineHistory {
-            last_start: Cycle::new(0),
+    fn history(live: u64, dead: u64) -> LineMeta {
+        LineMeta {
             last_live_time: live,
             last_dead_time: dead,
             completed: true,
+            ..LineMeta::default()
         }
     }
 

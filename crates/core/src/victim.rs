@@ -17,8 +17,6 @@
 //!   coarse counter per line measures dead time; admit only evictions with
 //!   dead time below 1 K cycles (counter ≤ 1 with a 512-cycle tick).
 
-use std::collections::HashMap;
-
 use crate::addr::LineAddr;
 use crate::generation::EvictCause;
 use crate::snapshot::{Json, Snapshot, SnapshotError};
@@ -261,21 +259,38 @@ impl VictimFilter for AdaptiveDeadTimeFilter {
 /// that set. When a miss brings in a block whose tag matches the stored
 /// evicted tag, the set is observed to be ping-ponging — a conflict — and
 /// subsequent evictions from that set are admitted to the victim cache.
-#[derive(Debug, Clone, Default)]
+///
+/// The hardware is one tag register and one conflict bit per set, so the
+/// filter is exactly that: two set-indexed arrays sized at construction.
+/// Its footprint is fixed no matter how many generations pass through.
+#[derive(Debug, Clone)]
 pub struct CollinsFilter {
-    last_evicted: HashMap<u64, u64>,
-    conflicting: HashMap<u64, bool>,
+    last_evicted: Vec<Option<u64>>,
+    conflicting: Vec<bool>,
 }
 
 impl CollinsFilter {
-    /// Creates an empty filter.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates a filter for a cache with `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is zero.
+    pub fn new(num_sets: usize) -> Self {
+        assert!(num_sets > 0, "Collins filter needs at least one set");
+        CollinsFilter {
+            last_evicted: vec![None; num_sets],
+            conflicting: vec![false; num_sets],
+        }
+    }
+
+    /// Number of sets tracked (fixed at construction).
+    pub fn tracked_sets(&self) -> usize {
+        self.conflicting.len()
     }
 
     /// Number of sets currently marked as conflicting.
     pub fn conflicting_sets(&self) -> usize {
-        self.conflicting.values().filter(|&&v| v).count()
+        self.conflicting.iter().filter(|&&v| v).count()
     }
 }
 
@@ -283,10 +298,10 @@ impl VictimFilter for CollinsFilter {
     fn admit(&mut self, evicted: &EvictionInfo) -> bool {
         // Detect conflict: the incoming block is the one this set evicted
         // most recently — it came straight back.
-        let set = evicted.set_index;
-        let is_conflict = self.last_evicted.get(&set) == Some(&evicted.incoming_tag);
-        self.conflicting.insert(set, is_conflict);
-        self.last_evicted.insert(set, evicted.tag);
+        let set = evicted.set_index as usize;
+        let is_conflict = self.last_evicted[set] == Some(evicted.incoming_tag);
+        self.conflicting[set] = is_conflict;
+        self.last_evicted[set] = Some(evicted.tag);
         is_conflict
     }
 
@@ -570,7 +585,7 @@ mod tests {
 
     #[test]
     fn collins_filter_detects_ping_pong() {
-        let mut f = CollinsFilter::new();
+        let mut f = CollinsFilter::new(8);
         // Set 5: tag 1 evicted by tag 2 — nothing known yet, reject.
         assert!(!f.admit(&info(100, 5, 1, 0, 2)));
         // Tag 2 evicted by tag 1: tag 1 was the last evicted from set 5 ->
@@ -579,6 +594,27 @@ mod tests {
         assert_eq!(f.conflicting_sets(), 1);
         // Unrelated set stays independent.
         assert!(!f.admit(&info(200, 6, 9, 0, 8)));
+    }
+
+    #[test]
+    fn collins_filter_state_is_bounded_by_tracked_sets() {
+        // Regression: the per-set state used to live in maps keyed by set
+        // index that grew one entry per distinct (set, generation) stream
+        // and were never pruned. The filter must hold exactly one tag and
+        // one conflict bit per set, no matter how many generations pass.
+        const SETS: usize = 16;
+        let mut f = CollinsFilter::new(SETS);
+        for gen in 0..10_000u64 {
+            let set = gen % SETS as u64;
+            // A fresh tag every generation: unbounded distinct keys.
+            assert!(!f.admit(&info(gen, set, gen + 1, 100, gen + 2)));
+        }
+        assert_eq!(f.tracked_sets(), SETS);
+        assert!(f.conflicting_sets() <= SETS);
+        // Ping-pong detection still works after the churn.
+        let set = 3;
+        f.admit(&info(1, set, 42, 0, 7));
+        assert!(f.admit(&info(2, set, 7, 0, 42)));
     }
 
     #[test]

@@ -436,11 +436,12 @@ proptest! {
         }
         let kinds = [MissKind::Cold, MissKind::Conflict, MissKind::Capacity];
         for &(ri, k) in &misses {
-            let h = LineHistory {
+            let h = LineMeta {
                 last_start: C2::new(0),
                 last_live_time: ri / 2,
                 last_dead_time: ri / 3,
                 completed: true,
+                ..LineMeta::default()
             };
             m.on_miss(kinds[k], Some(&h), Some(ri));
         }
@@ -490,7 +491,7 @@ proptest! {
 // --------------------------------------------- conflict sweep soundness
 
 use timekeeping::metrics::MetricsCollector;
-use timekeeping::{Cycle as C2, LineHistory};
+use timekeeping::{Cycle as C2, LineMeta};
 
 proptest! {
     /// The threshold-sweep accuracy/coverage computed from histograms
@@ -504,11 +505,12 @@ proptest! {
         let mut m = MetricsCollector::new();
         for &(ri, is_conflict) in &samples {
             let kind = if is_conflict { MissKind::Conflict } else { MissKind::Capacity };
-            let h = LineHistory {
+            let h = LineMeta {
                 last_start: C2::new(0),
                 last_live_time: 1,
                 last_dead_time: 1,
                 completed: true,
+                ..LineMeta::default()
             };
             m.on_miss(kind, Some(&h), Some(ri));
         }

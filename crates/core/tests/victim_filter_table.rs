@@ -118,7 +118,7 @@ const TABLE: &[Row] = &[
 
 #[test]
 fn filters_classify_the_conflict_scenario_as_pinned() {
-    let mut collins = CollinsFilter::new();
+    let mut collins = CollinsFilter::new(64);
     let mut dead_time = DeadTimeFilter::paper_default();
     let mut reload = ReloadIntervalFilter::new(16_384);
     for (i, row) in TABLE.iter().enumerate() {
@@ -148,7 +148,7 @@ fn filters_classify_the_conflict_scenario_as_pinned() {
 /// sees no history and must reject, without disturbing the first set's.
 #[test]
 fn collins_history_is_per_set() {
-    let mut collins = CollinsFilter::new();
+    let mut collins = CollinsFilter::new(64);
     assert!(!collins.admit(&eviction(0xA, 0xB, 600, None)));
     let mut other_set = eviction(0xB, 0xA, 512, None);
     other_set.set_index = SET + 1;
@@ -175,7 +175,7 @@ fn dead_time_threshold_is_tick_quantized() {
 
 #[test]
 fn filter_names_are_stable() {
-    assert_eq!(CollinsFilter::new().name(), "collins");
+    assert_eq!(CollinsFilter::new(64).name(), "collins");
     assert_eq!(
         DeadTimeFilter::paper_default().name(),
         "timekeeping (dead-time)"

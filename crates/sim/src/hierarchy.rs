@@ -8,25 +8,33 @@
 //! path through the hierarchy. Tags are allocated at miss time; data
 //! arrives at the computed completion time (hits under outstanding misses
 //! observe the fill time through the MSHRs).
+//!
+//! The access path itself is a staged pipeline of typed events consumed
+//! by an observer plane — see [`crate::pipeline`]. This module holds the
+//! machine state ([`MemorySystem`]), its constructor and accessors, the
+//! per-access lockstep-checker wrapper, and the aggregate counters.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 use timekeeping::snapshot::{Json, Snapshot, SnapshotError};
 use timekeeping::{
     AdaptiveDeadTimeFilter, CollinsFilter, DeadTimeFilter, NoFilter, ReloadIntervalFilter,
 };
 use timekeeping::{
-    Cycle, Dbcp, EvictCause, EvictionInfo, FullyAssocShadow, GenerationTracker, GlobalTicker,
-    LineAddr, MetricsCollector, MissBreakdown, PrefetchQueue, PrefetchRequest,
-    TimekeepingPrefetcher, Timeliness, TimelinessStats, VictimCache, VictimFilter,
+    Cycle, Dbcp, FullyAssocShadow, GenerationTracker, GlobalTicker, LineSet, MetricsCollector,
+    MissBreakdown, PrefetchQueue, TimekeepingPrefetcher, TimelinessStats, VictimCache,
 };
 
 use crate::bus::Bus;
-use crate::cache::{ProbeResult, SetAssocCache};
-use crate::config::{L1Mode, PrefetchMode, SystemConfig, VictimMode};
+use crate::cache::SetAssocCache;
+use crate::config::{PrefetchMode, SystemConfig, VictimMode};
 use crate::mshr::MshrFile;
 use crate::oracle::{FunctionalOracle, LockstepChecker, SimLevel, SimObservation};
+use crate::pipeline::{
+    GenObserver, MetricsObserver, Observers, OracleTap, PendingPf, PipelineEvent,
+    PredictorObserver, PrefetcherImpl, TapEvent, VictimObserver, VictimUnit,
+};
 use crate::trace::MemRef;
 
 /// Result of one data-cache access.
@@ -148,108 +156,40 @@ impl Snapshot for HierarchyStats {
     }
 }
 
-/// Looks up the pending deadline recorded for a queued request.
-fn geom_deadline(
-    pending: &HashMap<u64, PendingPf>,
-    geom: timekeeping::CacheGeometry,
-    req: &PrefetchRequest,
-) -> Option<Cycle> {
-    pending
-        .get(&geom.index_of_line(req.line))
-        .and_then(|p| p.deadline)
-}
-
-/// Per-set pending-prefetch lifecycle state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PfState {
-    /// Waiting in the prefetch request queue.
-    Queued,
-    /// Dropped from the queue by overflow; kept for classification.
-    Discarded,
-    /// Issued to the lower hierarchy; data arrives at the given cycle.
-    Issued(Cycle),
-    /// Arrived in the L1; remembers which line it displaced and whether
-    /// that line has since been demand-missed (the "early" signature).
-    Arrived {
-        displaced: Option<LineAddr>,
-        displaced_missed: bool,
-    },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingPf {
-    line: LineAddr,
-    state: PfState,
-    /// Predicted cycle by which the line will be demanded (for slack
-    /// scheduling), when the predictor supplied one.
-    deadline: Option<Cycle>,
-}
-
-#[derive(Debug)]
-enum PrefetcherImpl {
-    None,
-    Tk(TimekeepingPrefetcher),
-    Dbcp(Dbcp),
-    Markov(timekeeping::Markov),
-    Stride(timekeeping::StridePrefetcher),
-}
-
-#[derive(Debug)]
-struct VictimUnit {
-    cache: VictimCache,
-    filter: Box<dyn VictimFilter>,
-    /// Blocks entered by L1↔VC swaps (not counted as filtered fill
-    /// traffic; see DESIGN.md).
-    swap_fills: u64,
-}
-
-/// Per-access scratch recorded by the demand/prefetch paths for the
-/// lockstep checker (see [`crate::oracle`]). Reset before each checked
-/// access; the writes are unconditional because they are cheaper than
-/// branching on whether a checker is installed.
-#[derive(Debug, Default, Clone, Copy)]
-struct TapEvent {
-    /// Level that serviced an L1 miss (`None` until the miss path runs).
-    level: Option<SimLevel>,
-    /// Line evicted from the L1 by this event, if any.
-    evicted: Option<LineAddr>,
-    /// Whether a generation-boundary event (tracker evict) fired.
-    closed: bool,
-    /// Whether this was a decay refetch.
-    decay: bool,
-    /// Victim-filter admission decision, if an eviction was offered.
-    vc_admitted: Option<bool>,
-}
-
 /// The complete simulated memory system.
+///
+/// Timing state (caches, buses, MSHRs, the prefetch queue) lives here;
+/// everything that merely *watches* the access stream — generation
+/// tracking, metrics, predictors, victim-cache admission, the
+/// lockstep-oracle tap — lives in the [`Observers`] plane and is driven
+/// by the pipeline stages in [`crate::pipeline`].
 #[derive(Debug)]
 pub struct MemorySystem {
-    cfg: SystemConfig,
-    ticker: GlobalTicker,
-    l1d: SetAssocCache,
-    l2: SetAssocCache,
-    victim: Option<VictimUnit>,
-    tracker: GenerationTracker,
-    shadow: FullyAssocShadow,
-    metrics: MetricsCollector,
-    demand_mshrs: MshrFile,
-    prefetch_mshrs: MshrFile,
-    l1l2_bus: Bus,
-    l2mem_bus: Bus,
-    prefetcher: PrefetcherImpl,
-    pf_queue: PrefetchQueue,
-    inflight_pf: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    pending_pf: HashMap<u64, PendingPf>,
-    timeliness: TimelinessStats,
-    addr_pred: Vec<Option<u64>>,
-    l2_last_access: HashMap<u64, Cycle>,
-    l2_access_interval: timekeeping::Histogram,
-    l2_monitor: timekeeping::L2IntervalMonitor,
-    cold_seen: HashSet<u64>,
-    last_tick: u64,
-    stats: HierarchyStats,
-    evt: TapEvent,
-    checker: Option<Box<LockstepChecker>>,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) ticker: GlobalTicker,
+    pub(crate) l1d: SetAssocCache,
+    pub(crate) l2: SetAssocCache,
+    /// The event-observer plane, dispatched in fixed order.
+    pub(crate) obs: Observers,
+    pub(crate) shadow: FullyAssocShadow,
+    pub(crate) demand_mshrs: MshrFile,
+    pub(crate) prefetch_mshrs: MshrFile,
+    pub(crate) l1l2_bus: Bus,
+    pub(crate) l2mem_bus: Bus,
+    pub(crate) pf_queue: PrefetchQueue,
+    /// In-flight prefetches ordered by arrival: `(arrive, line, set)`.
+    pub(crate) inflight_pf: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// At most one pending prefetch per L1 set, indexed by set.
+    pub(crate) pending_pf: Vec<Option<PendingPf>>,
+    pub(crate) timeliness: TimelinessStats,
+    /// Lines ever seen, for the cold-miss-only study L1.
+    pub(crate) cold_seen: LineSet,
+    pub(crate) last_tick: u64,
+    pub(crate) stats: HierarchyStats,
+    pub(crate) checker: Option<Box<LockstepChecker>>,
+    /// Optional pipeline event trace (see
+    /// [`record_events`](MemorySystem::record_events)).
+    pub(crate) event_log: Option<Vec<PipelineEvent>>,
 }
 
 impl MemorySystem {
@@ -257,6 +197,8 @@ impl MemorySystem {
     pub fn new(cfg: SystemConfig) -> Self {
         let m = &cfg.machine;
         let num_frames = m.l1d.num_frames() as usize;
+        let num_sets = m.l1d.num_sets() as usize;
+        let collect = cfg.collect_metrics;
         let ticker = GlobalTicker::new(m.tick_period);
         let victim = match cfg.victim {
             VictimMode::None => None,
@@ -267,7 +209,7 @@ impl MemorySystem {
             }),
             VictimMode::Collins => Some(VictimUnit {
                 cache: VictimCache::new(m.victim_entries),
-                filter: Box::new(CollinsFilter::new()),
+                filter: Box::new(CollinsFilter::new(num_sets)),
                 swap_fills: 0,
             }),
             VictimMode::DeadTime { threshold } => Some(VictimUnit {
@@ -297,33 +239,45 @@ impl MemorySystem {
                 PrefetcherImpl::Stride(timekeeping::StridePrefetcher::new(scfg, m.l1d))
             }
         };
+        let obs = Observers {
+            gens: GenObserver {
+                plane: GenerationTracker::new(num_frames),
+                collect,
+            },
+            metrics: MetricsObserver {
+                collector: MetricsCollector::new(),
+                l2_access_interval: timekeeping::Histogram::paper_x1000(),
+                l2_monitor: timekeeping::L2IntervalMonitor::new(m.l2, ticker, 16_384),
+                collect,
+            },
+            predictors: PredictorObserver {
+                prefetcher,
+                addr_pred: vec![None; num_frames],
+                geom: m.l1d,
+            },
+            victim: VictimObserver { unit: victim },
+            oracle: OracleTap::default(),
+        };
         MemorySystem {
-            cfg,
             ticker,
             l1d: SetAssocCache::new(m.l1d),
             l2: SetAssocCache::new(m.l2),
-            victim,
-            tracker: GenerationTracker::new(num_frames),
+            obs,
             shadow: FullyAssocShadow::new(m.l1d.num_frames() as usize),
-            metrics: MetricsCollector::new(),
             demand_mshrs: MshrFile::new(m.demand_mshrs),
             prefetch_mshrs: MshrFile::new(m.prefetch_mshrs),
             l1l2_bus: Bus::new(m.l1l2_bus_occupancy),
             l2mem_bus: Bus::new(m.l2mem_bus_occupancy),
-            prefetcher,
             pf_queue: PrefetchQueue::new(m.prefetch_queue),
             inflight_pf: BinaryHeap::new(),
-            pending_pf: HashMap::new(),
+            pending_pf: vec![None; num_sets],
             timeliness: TimelinessStats::new(),
-            addr_pred: vec![None; num_frames],
-            l2_last_access: HashMap::new(),
-            l2_access_interval: timekeeping::Histogram::paper_x1000(),
-            l2_monitor: timekeeping::L2IntervalMonitor::new(m.l2, ticker, 16_384),
-            cold_seen: HashSet::new(),
+            cold_seen: LineSet::default(),
             last_tick: 0,
             stats: HierarchyStats::default(),
-            evt: TapEvent::default(),
             checker: None,
+            event_log: None,
+            cfg,
         }
     }
 
@@ -371,26 +325,26 @@ impl MemorySystem {
 
     /// Timekeeping metric distributions and predictor scores.
     pub fn metrics(&self) -> &MetricsCollector {
-        &self.metrics
+        &self.obs.metrics.collector
     }
 
     /// Access intervals observed at the L2 (one sample per repeat L1 miss
     /// of a line). Per §3, this distribution coincides with the L1 reload
     /// intervals — see `l2_access_interval_equals_l1_reload_interval`.
     pub fn l2_access_intervals(&self) -> &timekeeping::Histogram {
-        &self.l2_access_interval
+        &self.obs.metrics.l2_access_interval
     }
 
     /// Prediction scores of the hardware L2 interval monitor (§4.1's
     /// L2-side conflict predictor, with real counter quantization).
     pub fn l2_monitor_score(&self) -> &timekeeping::AccuracyCoverage {
-        self.l2_monitor.score()
+        self.obs.metrics.l2_monitor.score()
     }
 
     /// Mutable access to the metrics, so a finished run can move them out
     /// without cloning the histograms.
     pub fn metrics_mut(&mut self) -> &mut MetricsCollector {
-        &mut self.metrics
+        &mut self.obs.metrics.collector
     }
 
     /// Ground-truth miss breakdown (Figure 2).
@@ -400,12 +354,12 @@ impl MemorySystem {
 
     /// Victim-cache statistics, if a victim cache is configured.
     pub fn victim_stats(&self) -> Option<timekeeping::VictimStats> {
-        self.victim.as_ref().map(|v| v.cache.stats())
+        self.obs.victim.unit.as_ref().map(|v| v.cache.stats())
     }
 
     /// Blocks entered into the victim cache by L1↔VC swaps.
     pub fn victim_swap_fills(&self) -> Option<u64> {
-        self.victim.as_ref().map(|v| v.swap_fills)
+        self.obs.victim.unit.as_ref().map(|v| v.swap_fills)
     }
 
     /// Prefetch timeliness breakdown (Figure 21).
@@ -421,7 +375,7 @@ impl MemorySystem {
     /// Correlation-table statistics of the timekeeping prefetcher, if
     /// configured (hit rate = Figure 20 coverage).
     pub fn correlation_stats(&self) -> Option<timekeeping::CorrelationStats> {
-        match &self.prefetcher {
+        match &self.obs.predictors.prefetcher {
             PrefetcherImpl::Tk(p) => Some(p.table_stats()),
             _ => None,
         }
@@ -429,30 +383,10 @@ impl MemorySystem {
 
     /// DBCP statistics, if configured.
     pub fn dbcp_stats(&self) -> Option<timekeeping::DbcpStats> {
-        match &self.prefetcher {
+        match &self.obs.predictors.prefetcher {
             PrefetcherImpl::Dbcp(d) => Some(d.stats()),
             _ => None,
         }
-    }
-
-    /// Advances background machinery to `now`: global ticks (prefetch
-    /// counters), prefetch issue, and prefetch arrivals. Call once per
-    /// cycle, before the cycle's accesses.
-    pub fn advance(&mut self, now: Cycle) {
-        // Global ticks.
-        let cur_tick = self.ticker.tick_of(now);
-        while self.last_tick < cur_tick {
-            self.last_tick += 1;
-            let fired = match &mut self.prefetcher {
-                PrefetcherImpl::Tk(p) => p.tick(),
-                _ => Vec::new(),
-            };
-            for req in fired {
-                self.enqueue_prefetch(req, now);
-            }
-        }
-        self.process_arrivals(now);
-        self.issue_prefetches(now);
     }
 
     /// Performs one data reference. Stores mark the line dirty
@@ -460,11 +394,11 @@ impl MemorySystem {
     /// on the result.
     pub fn access(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
         if self.checker.is_none() {
-            return self.access_inner(mref, is_store, now);
+            return self.stage_lookup(mref, is_store, now);
         }
-        self.evt = TapEvent::default();
-        let out = self.access_inner(mref, is_store, now);
-        let evt = self.evt;
+        self.obs.oracle.evt = TapEvent::default();
+        let out = self.stage_lookup(mref, is_store, now);
+        let evt = self.obs.oracle.evt;
         let level = if out.l1_hit {
             SimLevel::L1
         } else if out.vc_hit {
@@ -480,792 +414,23 @@ impl MemorySystem {
             decay_refetch: evt.decay,
             vc_admitted: evt.vc_admitted,
         };
-        let vc_lines = self.victim.as_ref().map(|v| v.cache.lines());
+        let vc_lines = self.obs.victim.unit.as_ref().map(|v| v.cache.lines());
         let mut chk = self.checker.take().expect("checked above");
         chk.check_demand(&self.l1d, vc_lines.as_deref(), &obs);
         self.checker = Some(chk);
         out
     }
 
-    fn access_inner(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
-        self.stats.l1_accesses += 1;
-        if self.cfg.l1_mode == L1Mode::ColdOnly {
-            return self.access_cold_only(mref, now);
-        }
-        let geom = *self.l1d.geometry();
-        let addr = mref.addr;
-        let line = geom.line_of(addr);
-        // The stride table trains on every reference, hit or miss.
-        if let PrefetcherImpl::Stride(sp) = &mut self.prefetcher {
-            let targets = sp.on_access(addr, mref.pc);
-            for t in targets {
-                self.enqueue_prefetch(
-                    PrefetchRequest {
-                        line: t,
-                        frame: (geom.index_of_line(t) * geom.assoc() as u64) as usize,
-                        need_in_ticks: None,
-                    },
-                    now,
-                );
-            }
-        }
-        match self.l1d.probe(addr) {
-            ProbeResult::Hit(frame) => {
-                if is_store {
-                    self.l1d.mark_dirty(frame);
-                }
-                // Cache decay: a line idle past the decay interval was
-                // switched off; its data must be refetched from the L2.
-                if let Some(interval) = self.cfg.decay_interval {
-                    if let Some(last_use) = self.tracker.last_use(frame) {
-                        if now.since(last_use) >= interval {
-                            return self.decay_refetch(mref, line, frame, last_use, interval, now);
-                        }
-                    }
-                }
-                self.stats.l1_hits += 1;
-                self.shadow.on_access(line);
-                let interval = self.tracker.hit(frame, now);
-                if self.cfg.collect_metrics {
-                    self.metrics.on_access_interval(interval);
-                }
-                let dbcp_target = match &mut self.prefetcher {
-                    PrefetcherImpl::Tk(p) => {
-                        p.on_hit(frame);
-                        None
-                    }
-                    PrefetcherImpl::Dbcp(d) => d.on_access(frame, mref.pc),
-                    PrefetcherImpl::None
-                    | PrefetcherImpl::Markov(_)
-                    | PrefetcherImpl::Stride(_) => None,
-                };
-                if let Some(target) = dbcp_target {
-                    self.enqueue_prefetch(
-                        PrefetchRequest {
-                            line: target,
-                            frame: (geom.index_of_line(target) * geom.assoc() as u64) as usize,
-                            need_in_ticks: None,
-                        },
-                        now,
-                    );
-                }
-                // A hit on a prefetched block resolves its timeliness.
-                let set = geom.index_of_line(line);
-                if let Some(p) = self.pending_pf.get(&set).copied() {
-                    if p.line == line {
-                        if let PfState::Arrived {
-                            displaced_missed, ..
-                        } = p.state
-                        {
-                            self.pending_pf.remove(&set);
-                            let class = if displaced_missed {
-                                Timeliness::Early
-                            } else {
-                                Timeliness::Timely
-                            };
-                            self.timeliness.record(true, class);
-                        }
-                    }
-                }
-                // Hit under miss: data may still be in flight.
-                let mut ready = now + self.cfg.machine.l1_hit_latency;
-                if let Some(r) = self.demand_mshrs.ready_time(line) {
-                    ready = ready.max(r);
-                }
-                if let Some(r) = self.prefetch_mshrs.ready_time(line) {
-                    ready = ready.max(r);
-                }
-                AccessOutcome {
-                    ready_at: ready,
-                    l1_hit: true,
-                    vc_hit: false,
-                }
-            }
-            ProbeResult::Miss {
-                victim_frame,
-                evicted,
-            } => {
-                let out = self.miss_path(mref, line, victim_frame, evicted, now);
-                if is_store {
-                    if let Some(f) = self.l1d.peek(addr) {
-                        self.l1d.mark_dirty(f);
-                    }
-                }
-                out
-            }
-        }
-    }
-
-    fn access_cold_only(&mut self, mref: &MemRef, now: Cycle) -> AccessOutcome {
-        let geom = *self.l1d.geometry();
-        let line = geom.line_of(mref.addr);
-        if self.cold_seen.contains(&line.get()) {
-            self.stats.l1_hits += 1;
-            return AccessOutcome {
-                ready_at: now + self.cfg.machine.l1_hit_latency,
-                l1_hit: true,
-                vc_hit: false,
-            };
-        }
-        self.cold_seen.insert(line.get());
-        if let Some(ready) = self.demand_mshrs.lookup(line) {
-            return AccessOutcome {
-                ready_at: ready,
-                l1_hit: false,
-                vc_hit: false,
-            };
-        }
-        let ready = self.fetch_from_l2(mref.addr, now, true);
-        self.alloc_demand(line, ready, now);
-        AccessOutcome {
-            ready_at: ready,
-            l1_hit: false,
-            vc_hit: false,
-        }
-    }
-
-    fn miss_path(
-        &mut self,
-        mref: &MemRef,
-        line: LineAddr,
-        victim_frame: usize,
-        evicted: Option<LineAddr>,
-        now: Cycle,
-    ) -> AccessOutcome {
-        let geom = *self.l1d.geometry();
-        let set = geom.index_of_line(line);
-
-        // Ground-truth classification and last-generation metrics.
-        let kind = self.shadow.classify_miss(line);
-        // The hardware L2 interval monitor sees this L1 miss as an L2
-        // access and makes its own (tick-quantized) conflict call.
-        if let Some((_, predicted)) = self.l2_monitor.on_access(mref.addr, now) {
-            self.l2_monitor.observe(predicted, kind);
-        }
-        if self.cfg.collect_metrics {
-            // §3: "the reload interval in one level of the hierarchy (eg,
-            // L1) is actually the access interval in the next lower level
-            // (eg, L2)". Each L1 miss is an L2 access for the line; the
-            // interval between successive ones is the L2 access interval.
-            if let Some(prev) = self.l2_last_access.insert(line.get(), now) {
-                self.l2_access_interval.record(now.since(prev));
-            }
-        }
-        if self.cfg.collect_metrics {
-            let hist = self.tracker.line_history(line).copied();
-            let ri = hist.map(|h| now.since(h.last_start));
-            self.metrics.on_miss(kind, hist.as_ref(), ri);
-        }
-
-        // The Markov predictor correlates the global miss stream.
-        if let PrefetcherImpl::Markov(mk) = &mut self.prefetcher {
-            let targets = mk.on_miss(line);
-            for t in targets {
-                self.enqueue_prefetch(
-                    PrefetchRequest {
-                        line: t,
-                        frame: (geom.index_of_line(t) * geom.assoc() as u64) as usize,
-                        need_in_ticks: None,
-                    },
-                    now,
-                );
-            }
-        }
-
-        // Resolve / annotate pending prefetch state for this set.
-        self.resolve_pending_on_miss(set, line, now);
-
-        // Victim-cache probe.
-        if self.victim.is_some() {
-            let vc_hit = self.victim.as_mut().expect("checked").cache.take(line);
-            if vc_hit {
-                self.stats.vc_hits += 1;
-                self.evt.evicted = evicted;
-                // Swap: close the displaced generation and move the block
-                // into the victim cache unfiltered (it is an exchange, not
-                // eviction traffic).
-                if let Some(ev) = evicted {
-                    self.close_generation(victim_frame, ev, now, EvictCause::Demand, None);
-                    self.writeback_if_dirty(victim_frame, now);
-                    let v = self.victim.as_mut().expect("checked");
-                    v.cache.insert(ev);
-                    v.swap_fills += 1;
-                }
-                self.l1d.fill_frame(victim_frame, mref.addr);
-                self.begin_generation(victim_frame, line, set, mref, now);
-                let ready = now + self.cfg.machine.l1_hit_latency + 1;
-                return AccessOutcome {
-                    ready_at: ready,
-                    l1_hit: false,
-                    vc_hit: true,
-                };
-            }
-        }
-
-        // Merge with an outstanding demand miss for the same line.
-        if let Some(ready) = self.demand_mshrs.lookup(line) {
-            self.evt.level = Some(SimLevel::InFlight);
-            // The tag was filled by the first miss unless it was evicted in
-            // between; refill if needed.
-            if self.l1d.peek(mref.addr).is_none() {
-                self.evict_and_fill(mref, line, set, now);
-            }
-            return AccessOutcome {
-                ready_at: ready,
-                l1_hit: false,
-                vc_hit: false,
-            };
-        }
-
-        // A prefetch already in flight for this line: the demand takes
-        // ownership of it.
-        if let Some(pf_ready) = self.prefetch_mshrs.remove(line) {
-            self.evt.level = Some(SimLevel::InFlight);
-            self.pf_queue.cancel_line(line);
-            self.evict_and_fill(mref, line, set, now);
-            let ready = pf_ready.max(now + 1);
-            self.alloc_demand(line, ready, now);
-            return AccessOutcome {
-                ready_at: ready,
-                l1_hit: false,
-                vc_hit: false,
-            };
-        }
-        // Still queued (never issued): fetch normally.
-        self.pf_queue.cancel_line(line);
-
-        let ready = self.fetch_from_l2(mref.addr, now, true);
-        self.alloc_demand(line, ready, now);
-        self.evict_and_fill(mref, line, set, now);
-        AccessOutcome {
-            ready_at: ready,
-            l1_hit: false,
-            vc_hit: false,
-        }
-    }
-
-    /// Allocates a demand MSHR, modeling queueing delay when full.
-    fn alloc_demand(&mut self, line: LineAddr, ready: Cycle, now: Cycle) {
-        // `fetch_from_l2` already folded MSHR queuing into `ready` via
-        // `demand_base`; here we only record occupancy.
-        if self.demand_mshrs.next_free(now).is_none() {
-            self.demand_mshrs.allocate(line, ready);
-        }
-        // When full the request queued behind the earliest entry; that
-        // entry's register is reused, so no separate allocation is needed.
-    }
-
-    /// Start time for a new demand request, accounting for MSHR
-    /// availability.
-    fn demand_base(&mut self, now: Cycle) -> Cycle {
-        match self.demand_mshrs.next_free(now) {
-            None => now,
-            Some(free_at) => free_at,
-        }
-    }
-
-    /// Computes the completion time of a block fetch entering at the L2,
-    /// updating L2 state, buses and counters. `demand` selects demand
-    /// (priority) or prefetch scheduling.
-    fn fetch_from_l2(&mut self, addr: timekeeping::Addr, now: Cycle, demand: bool) -> Cycle {
-        let m = self.cfg.machine;
-        let base = if demand { self.demand_base(now) } else { now };
-        if demand {
-            self.stats.l2_accesses += 1;
-        }
-        // Bus occupancy is charged at request time (the response slot is
-        // reserved when the request enters): latency pipelines around the
-        // occupancy, so the backlog reflects genuine congestion rather
-        // than in-flight latency.
-        match self.l2.probe(addr) {
-            ProbeResult::Hit(_) => {
-                if demand {
-                    self.stats.l2_hits += 1;
-                    self.evt.level = Some(SimLevel::L2);
-                } else {
-                    self.notify_prefetch_l2(addr, true);
-                }
-                let start = self.l1l2_bus.schedule(base);
-                self.l1l2_bus.done_at(start) + m.l2_latency
-            }
-            ProbeResult::Miss { .. } => {
-                if demand {
-                    self.stats.mem_accesses += 1;
-                    self.evt.level = Some(SimLevel::Mem);
-                } else {
-                    self.notify_prefetch_l2(addr, false);
-                }
-                let start1 = self.l1l2_bus.schedule(base);
-                let at_l2 = self.l1l2_bus.done_at(start1) + m.l2_latency;
-                let start2 = self.l2mem_bus.schedule(at_l2);
-                // An L2 fill may evict a dirty L2 line: write it to memory.
-                let (l2_victim, l2_resident) = self.l2.peek_victim(addr);
-                if l2_resident.is_some() && self.l2.frame_dirty(l2_victim) {
-                    self.stats.l2_writebacks += 1;
-                    self.l2mem_bus.schedule(at_l2);
-                }
-                self.l2.fill(addr);
-                self.l2mem_bus.done_at(start2) + m.mem_latency
-            }
-        }
-    }
-
-    /// A reference to a decayed (switched-off) line: ends the generation
-    /// at the decay point, refetches the block from the L2 and starts a
-    /// fresh generation. The interval between switch-off and this access
-    /// is banked as leakage saving.
-    fn decay_refetch(
-        &mut self,
-        mref: &MemRef,
-        line: LineAddr,
-        frame: usize,
-        last_use: Cycle,
-        interval: u64,
-        now: Cycle,
-    ) -> AccessOutcome {
-        self.evt.decay = true;
-        self.stats.decay_misses += 1;
-        let off_at = last_use + interval;
-        self.stats.decay_off_cycles += now.since(off_at);
-        // The decayed generation ended when the line switched off.
-        self.close_generation(frame, line, off_at, EvictCause::Flush, None);
-        // Refetch: the shadow still sees a reference (decay is invisible
-        // to the fully-associative model — these are not program misses).
-        self.shadow.on_access(line);
-        let ready = self.fetch_from_l2(mref.addr, now, true);
-        self.alloc_demand(line, ready, now);
-        self.l1d.fill_frame(frame, mref.addr);
-        let set = self.l1d.geometry().index_of_line(line);
-        self.begin_generation(frame, line, set, mref, now);
-        AccessOutcome {
-            ready_at: ready,
-            l1_hit: false,
-            vc_hit: false,
-        }
-    }
-
-    /// Writes a dirty evicted L1 line back toward the L2: the transfer
-    /// occupies the L1/L2 bus (write-backs contend with demand fills). If
-    /// the line is no longer L2-resident (the hierarchy is not inclusive),
-    /// the write continues to memory over the L2/memory bus.
-    fn writeback_if_dirty(&mut self, frame: usize, now: Cycle) {
-        if !self.l1d.frame_dirty(frame) {
-            return;
-        }
-        self.stats.l1_writebacks += 1;
-        self.l1l2_bus.schedule(now);
-        let line = self.l1d.line_in_frame(frame).expect("dirty frame is valid");
-        let addr = self.l1d.geometry().addr_of_line(line);
-        match self.l2.peek(addr) {
-            Some(l2_frame) => self.l2.mark_dirty(l2_frame),
-            None => {
-                // Not L2-resident: the write-back continues to memory.
-                self.stats.l2_writebacks += 1;
-                self.l2mem_bus.schedule(now);
-            }
-        }
-    }
-
-    /// Banks leakage savings for a frame being evicted while decayed.
-    fn bank_decay_off_time(&mut self, frame: usize, now: Cycle) {
-        if let Some(interval) = self.cfg.decay_interval {
-            if let Some(last_use) = self.tracker.last_use(frame) {
-                let off_at = last_use + interval;
-                self.stats.decay_off_cycles += now.since(off_at);
-            }
-        }
-    }
-
-    /// Closes the generation in `frame` (which holds `ev_line`) and offers
-    /// the victim to the victim cache. `incoming_tag` is the tag replacing
-    /// it (None for prefetch fills where Collins detection does not apply).
-    fn close_generation(
-        &mut self,
-        frame: usize,
-        ev_line: LineAddr,
-        now: Cycle,
-        cause: EvictCause,
-        incoming_tag: Option<u64>,
-    ) {
-        let geom = *self.l1d.geometry();
-        if let Some(rec) = self.tracker.evict(frame, now, cause) {
-            self.evt.closed = true;
-            if self.cfg.collect_metrics {
-                self.metrics.on_generation(&rec);
-            }
-            if let Some(v) = self.victim.as_mut() {
-                let info = EvictionInfo {
-                    line: ev_line,
-                    set_index: geom.index_of_line(ev_line),
-                    tag: geom.tag_of_line(ev_line),
-                    dead_time: rec.dead_time,
-                    live_time: rec.live_time,
-                    cause,
-                    reload_interval: rec.reload_interval,
-                    incoming_tag: incoming_tag.unwrap_or(u64::MAX),
-                };
-                let admitted = v.cache.offer(v.filter.as_mut(), &info);
-                self.evt.vc_admitted = Some(admitted);
-            }
-        }
-    }
-
-    /// Forwards a prefetch's L2 probe outcome to the lockstep checker.
-    fn notify_prefetch_l2(&mut self, addr: timekeeping::Addr, hit: bool) {
-        if let Some(mut chk) = self.checker.take() {
-            chk.check_prefetch_l2(addr, hit);
-            self.checker = Some(chk);
-        }
-    }
-
-    /// Demand-miss path tail: evict the resident block (if any) and begin
-    /// the new generation.
-    fn evict_and_fill(&mut self, mref: &MemRef, line: LineAddr, set: u64, now: Cycle) {
-        let geom = *self.l1d.geometry();
-        {
-            let (victim_frame, resident) = self.l1d.peek_victim(mref.addr);
-            if resident.is_some() {
-                if self.cfg.decay_interval.is_some() {
-                    self.bank_decay_off_time(victim_frame, now);
-                }
-                self.writeback_if_dirty(victim_frame, now);
-            }
-        }
-        let (frame, evicted) = self.l1d.fill(mref.addr);
-        self.evt.evicted = evicted;
-        if let Some(ev) = evicted {
-            self.close_generation(
-                frame,
-                ev,
-                now,
-                EvictCause::Demand,
-                Some(geom.tag_of_line(line)),
-            );
-        }
-        self.begin_generation(frame, line, set, mref, now);
-    }
-
-    /// Common generation-begin bookkeeping: tracker fill, prefetcher hooks,
-    /// address-prediction resolution.
-    fn begin_generation(
-        &mut self,
-        frame: usize,
-        line: LineAddr,
-        set: u64,
-        mref: &MemRef,
-        now: Cycle,
-    ) {
-        let geom = *self.l1d.geometry();
-        self.tracker.fill(frame, line, now);
-        let new_tag = geom.tag_of_line(line);
-        // Score the previous address prediction for this frame.
-        if let Some(pred) = self.addr_pred[frame].take() {
-            self.stats.addr_predictions += 1;
-            if pred == new_tag {
-                self.stats.addr_correct += 1;
-            }
-        }
-        let dbcp_target = match &mut self.prefetcher {
-            PrefetcherImpl::Tk(p) => {
-                p.on_fill(frame, set, new_tag);
-                self.addr_pred[frame] = p.predicted_next(frame);
-                None
-            }
-            PrefetcherImpl::Dbcp(d) => {
-                d.on_replace(frame, line);
-                d.on_access(frame, mref.pc)
-            }
-            PrefetcherImpl::None | PrefetcherImpl::Markov(_) | PrefetcherImpl::Stride(_) => None,
-        };
-        if let Some(target) = dbcp_target {
-            self.enqueue_prefetch(
-                PrefetchRequest {
-                    line: target,
-                    frame: (geom.index_of_line(target) * geom.assoc() as u64) as usize,
-                    need_in_ticks: None,
-                },
-                now,
-            );
-        }
-    }
-
-    /// Resolves or annotates the pending prefetch for `set` when a demand
-    /// miss to `miss_line` occurs there.
-    fn resolve_pending_on_miss(&mut self, set: u64, miss_line: LineAddr, now: Cycle) {
-        let Some(p) = self.pending_pf.get(&set).copied() else {
-            return;
-        };
-        let correct = p.line == miss_line;
-        let class = match p.state {
-            PfState::Queued => {
-                self.pf_queue.cancel_line(p.line);
-                Timeliness::NotStarted
-            }
-            PfState::Discarded => Timeliness::Discarded,
-            PfState::Issued(arrive) => {
-                if arrive > now {
-                    Timeliness::StartedNotTimely
-                } else {
-                    // Arrival pending processing this very cycle; treat as
-                    // arrived-in-time.
-                    Timeliness::Timely
-                }
-            }
-            PfState::Arrived {
-                displaced,
-                displaced_missed,
-            } => {
-                if displaced == Some(miss_line) || displaced_missed {
-                    Timeliness::Early
-                } else {
-                    Timeliness::Timely
-                }
-            }
-        };
-        self.pending_pf.remove(&set);
-        self.timeliness.record(correct, class);
-    }
-
-    /// Accepts a prefetch request from a prefetcher.
-    fn enqueue_prefetch(&mut self, req: PrefetchRequest, now: Cycle) {
-        if self.cfg.predict_only {
-            return;
-        }
-        let geom = *self.l1d.geometry();
-        let addr = geom.addr_of_line(req.line);
-        // Drop if already cached or already being fetched.
-        if self.l1d.peek(addr).is_some()
-            || self.demand_mshrs.contains(req.line)
-            || self.prefetch_mshrs.contains(req.line)
-        {
-            self.stats.pf_redundant += 1;
-            return;
-        }
-        let set = geom.index_of_line(req.line);
-        // One pending prefetch per set: keep the older one.
-        if self.pending_pf.contains_key(&set) {
-            self.stats.pf_redundant += 1;
-            return;
-        }
-        self.stats.pf_enqueued += 1;
-        let deadline = req
-            .need_in_ticks
-            .map(|t| now + self.ticker.cycles(t as u64));
-        self.pending_pf.insert(
-            set,
-            PendingPf {
-                line: req.line,
-                state: PfState::Queued,
-                deadline,
-            },
-        );
-        if let Some(dropped) = self.pf_queue.push(req) {
-            let dset = geom.index_of_line(dropped.line);
-            if let Some(dp) = self.pending_pf.get_mut(&dset) {
-                if dp.line == dropped.line && dp.state == PfState::Queued {
-                    dp.state = PfState::Discarded;
-                }
-            }
-        }
-    }
-
-    /// Issues queued prefetches while the L1/L2 bus backlog is low and
-    /// prefetch MSHRs are available (demand priority). The backlog bound is
-    /// one L2 round-trip: beyond that, demand traffic owns the bus.
-    fn issue_prefetches(&mut self, now: Cycle) {
-        let geom = *self.l1d.geometry();
-        let m = self.cfg.machine;
-        let max_backlog = m.l2_latency + 2 * m.l1l2_bus_occupancy;
-        let max_mem_backlog = 4 * m.l2mem_bus_occupancy;
-        // A prefetch is "urgent" once its predicted need time is within a
-        // worst-case fetch latency of now.
-        let urgency_window = m.l2_latency + m.mem_latency + 2 * m.l2mem_bus_occupancy;
-        loop {
-            if self.pf_queue.is_empty() {
-                return;
-            }
-            if self.l1l2_bus.backlog(now) > max_backlog
-                || self.l2mem_bus.backlog(now) > max_mem_backlog
-            {
-                return;
-            }
-            // Slack scheduling (§5.2.2): while the bus is doing anything at
-            // all, hold back prefetches whose deadline is still far out;
-            // they will go out in a genuinely idle window instead of
-            // queueing in front of near-future demand.
-            if self.cfg.slack_prefetch {
-                let head_deadline = self
-                    .pf_queue
-                    .peek()
-                    .and_then(|r| geom_deadline(&self.pending_pf, geom, r));
-                let urgent = match head_deadline {
-                    Some(d) => d.since(now) <= urgency_window,
-                    None => true, // unknown deadline: treat as urgent
-                };
-                if !urgent && (self.l1l2_bus.backlog(now) > 0 || self.l2mem_bus.backlog(now) > 0) {
-                    return;
-                }
-            }
-            if self.prefetch_mshrs.next_free(now).is_some() {
-                return; // file full
-            }
-            let Some(req) = self.pf_queue.pop() else {
-                return;
-            };
-            let set = geom.index_of_line(req.line);
-            // Stale request (superseded or resolved)?
-            let valid = self
-                .pending_pf
-                .get(&set)
-                .map(|p| p.line == req.line && p.state == PfState::Queued)
-                .unwrap_or(false);
-            if !valid {
-                continue;
-            }
-            let addr = geom.addr_of_line(req.line);
-            let arrive = self.fetch_from_l2(addr, now, false);
-            self.prefetch_mshrs.allocate(req.line, arrive);
-            self.inflight_pf
-                .push(Reverse((arrive.get(), req.line.get(), set)));
-            let deadline = self.pending_pf.get(&set).and_then(|p| p.deadline);
-            self.pending_pf.insert(
-                set,
-                PendingPf {
-                    line: req.line,
-                    state: PfState::Issued(arrive),
-                    deadline,
-                },
-            );
-            self.stats.pf_issued += 1;
-        }
-    }
-
-    /// Fills prefetches whose data has arrived by `now`.
-    fn process_arrivals(&mut self, now: Cycle) {
-        let geom = *self.l1d.geometry();
-        while let Some(&Reverse((arrive, line_raw, set))) = self.inflight_pf.peek() {
-            if arrive > now.get() {
-                break;
-            }
-            self.inflight_pf.pop();
-            let line = LineAddr::new(line_raw);
-            let at = Cycle::new(arrive);
-            self.prefetch_mshrs.remove(line);
-            // Superseded by a demand fetch (tag already present) or pending
-            // state cleared: nothing to fill.
-            let addr = geom.addr_of_line(line);
-            if self.l1d.peek(addr).is_some() {
-                continue;
-            }
-            // §5.1: "prefetches that arrive into the cache before the
-            // resident block is dead will induce extra cache misses."
-            // The arrival consults the paper's own live-time dead-block
-            // prediction: the resident is presumed dead once its
-            // generation age exceeds twice its previous live time; an
-            // earlier arrival is dropped rather than displacing a
-            // likely-live block. (Single-use blocks — previous live time
-            // zero — are dead the moment they are filled.)
-            let set0 = geom.index_of_line(line);
-            // The frame the fill will actually use (LRU way for
-            // associative L1s).
-            let (target_frame, _) = self.l1d.peek_victim(addr);
-            if let (Some(resident), Some(start)) = (
-                self.tracker.resident(target_frame),
-                self.tracker.generation_start(target_frame),
-            ) {
-                let prev_lt = self
-                    .tracker
-                    .line_history(resident)
-                    .filter(|h| h.completed)
-                    .map(|h| h.last_live_time)
-                    .unwrap_or(0);
-                let dead_point = 2 * prev_lt;
-                if at.since(start) < dead_point {
-                    self.stats.pf_dropped_live += 1;
-                    if self
-                        .pending_pf
-                        .get(&set0)
-                        .map(|p| p.line == line)
-                        .unwrap_or(false)
-                    {
-                        self.pending_pf.remove(&set0);
-                    }
-                    continue;
-                }
-            }
-            let still_pending = self
-                .pending_pf
-                .get(&set)
-                .map(|p| p.line == line && matches!(p.state, PfState::Issued(_)))
-                .unwrap_or(false);
-            {
-                let (victim_frame, resident) = self.l1d.peek_victim(addr);
-                if resident.is_some() {
-                    self.writeback_if_dirty(victim_frame, at);
-                }
-            }
-            if self.checker.is_some() {
-                self.evt = TapEvent::default();
-            }
-            let (frame, evicted) = self.l1d.fill(addr);
-            if let Some(ev) = evicted {
-                self.close_generation(frame, ev, at, EvictCause::Prefetch, None);
-            }
-            if self.checker.is_some() {
-                let (closed, admitted) = (self.evt.closed, self.evt.vc_admitted);
-                let mut chk = self.checker.take().expect("checked above");
-                chk.check_prefetch_fill(&self.l1d, line, evicted, closed, admitted);
-                self.checker = Some(chk);
-            }
-            self.stats.pf_fills += 1;
-            // A prefetch fill is a generation start, and trains the
-            // prefetcher exactly like a demand fill (enabling chained
-            // prefetches), but carries no referencing PC.
-            self.tracker.fill(frame, line, at);
-            let new_tag = geom.tag_of_line(line);
-            if let Some(pred) = self.addr_pred[frame].take() {
-                self.stats.addr_predictions += 1;
-                if pred == new_tag {
-                    self.stats.addr_correct += 1;
-                }
-            }
-            match &mut self.prefetcher {
-                PrefetcherImpl::Tk(p) => {
-                    p.on_prefetch_fill(frame, set, new_tag);
-                    self.addr_pred[frame] = p.predicted_next(frame);
-                }
-                PrefetcherImpl::Dbcp(d) => d.on_replace(frame, line),
-                PrefetcherImpl::None | PrefetcherImpl::Markov(_) | PrefetcherImpl::Stride(_) => {}
-            }
-            if still_pending {
-                let deadline = self.pending_pf.get(&set).and_then(|p| p.deadline);
-                self.pending_pf.insert(
-                    set,
-                    PendingPf {
-                        line,
-                        deadline,
-                        state: PfState::Arrived {
-                            displaced: evicted,
-                            displaced_missed: false,
-                        },
-                    },
-                );
-            }
-        }
-        // Early detection: a demand miss to a displaced line is recorded in
-        // `resolve_pending_on_miss`; nothing to do here.
-    }
-
     /// Flushes all open generations into the metrics (end of simulation).
     pub fn finish(&mut self, now: Cycle) {
         if self.cfg.decay_interval.is_some() {
-            for frame in 0..self.addr_pred.len() {
+            for frame in 0..self.obs.predictors.addr_pred.len() {
                 self.bank_decay_off_time(frame, now);
             }
         }
-        for rec in self.tracker.flush(now) {
+        for rec in self.obs.gens.plane.flush(now) {
             if self.cfg.collect_metrics {
-                self.metrics.on_generation(&rec);
+                self.obs.metrics.collector.on_generation(&rec);
             }
         }
     }

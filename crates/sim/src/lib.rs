@@ -46,6 +46,7 @@ pub mod core;
 pub mod hierarchy;
 pub mod mshr;
 pub mod oracle;
+pub mod pipeline;
 pub mod system;
 pub mod trace;
 

@@ -5,8 +5,11 @@
 //! existing entry's completion time instead of issuing a second request.
 //! When the file is full, new misses queue behind the earliest-completing
 //! entry (modeled as a delayed start, not a pipeline flush).
-
-use std::collections::HashMap;
+//!
+//! A real MSHR file is a handful of CAM registers, so the model stores the
+//! entries in a small flat vector and searches it linearly — for the 8–64
+//! registers a hierarchy configures this beats hashing every lookup, and
+//! it keeps iteration order deterministic by construction.
 
 use timekeeping::{Cycle, LineAddr};
 
@@ -28,7 +31,8 @@ use timekeeping::{Cycle, LineAddr};
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Cycle>,
+    /// `(line, ready)` pairs; at most `capacity` long, unordered.
+    entries: Vec<(u64, Cycle)>,
     merges: u64,
     allocations: u64,
     full_stalls: u64,
@@ -44,7 +48,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
             merges: 0,
             allocations: 0,
             full_stalls: 0,
@@ -79,24 +83,30 @@ impl MshrFile {
 
     /// Removes entries whose data has returned by `now`.
     pub fn expire(&mut self, now: Cycle) {
-        self.entries.retain(|_, &mut ready| ready > now);
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let key = line.get();
+        self.entries.iter().position(|&(l, _)| l == key)
     }
 
     /// Whether `line` is currently outstanding (no merge counted).
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line.get())
+        self.find(line).is_some()
     }
 
     /// Completion time of `line`'s outstanding miss, if any (no merge
     /// counted).
     pub fn ready_time(&self, line: LineAddr) -> Option<Cycle> {
-        self.entries.get(&line.get()).copied()
+        self.find(line).map(|i| self.entries[i].1)
     }
 
     /// If `line` is already outstanding, returns its completion time and
     /// counts a merge.
     pub fn lookup(&mut self, line: LineAddr) -> Option<Cycle> {
-        let ready = self.entries.get(&line.get()).copied();
+        let ready = self.ready_time(line);
         if ready.is_some() {
             self.merges += 1;
         }
@@ -111,7 +121,7 @@ impl MshrFile {
             None
         } else {
             self.full_stalls += 1;
-            self.entries.values().min().copied()
+            self.entries.iter().map(|&(_, ready)| ready).min()
         }
     }
 
@@ -123,7 +133,10 @@ impl MshrFile {
     /// consult [`next_free`](Self::next_free) first.
     pub fn allocate(&mut self, line: LineAddr, ready: Cycle) {
         self.allocations += 1;
-        self.entries.insert(line.get(), ready);
+        match self.find(line) {
+            Some(i) => self.entries[i].1 = ready,
+            None => self.entries.push((line.get(), ready)),
+        }
         debug_assert!(
             self.entries.len() <= self.capacity,
             "MSHR overflow: callers must queue when full"
@@ -134,14 +147,15 @@ impl MshrFile {
     /// Removes the entry for `line` (e.g. a prefetch superseded by a
     /// demand fetch taking ownership). Returns its completion time.
     pub fn remove(&mut self, line: LineAddr) -> Option<Cycle> {
-        let r = self.entries.remove(&line.get());
+        let r = self.find(line).map(|i| self.entries.swap_remove(i).1);
         self.debug_invariants();
         r
     }
 
     /// File-wide invariants, asserted after every mutation when the
-    /// `check-invariants` feature is on: occupancy within capacity, and
-    /// every resident entry accounted for by an allocation.
+    /// `check-invariants` feature is on: occupancy within capacity, no
+    /// duplicate lines, and every resident entry accounted for by an
+    /// allocation.
     #[cfg(feature = "check-invariants")]
     fn debug_invariants(&self) {
         assert!(
@@ -156,6 +170,12 @@ impl MshrFile {
             self.entries.len(),
             self.allocations
         );
+        for (i, &(line, _)) in self.entries.iter().enumerate() {
+            assert!(
+                !self.entries[i + 1..].iter().any(|&(l, _)| l == line),
+                "duplicate MSHR entry for line {line:#x}"
+            );
+        }
     }
 
     #[cfg(not(feature = "check-invariants"))]
@@ -206,6 +226,15 @@ mod tests {
         m.allocate(line(1), Cycle::new(300));
         assert_eq!(m.remove(line(1)), Some(Cycle::new(300)));
         assert_eq!(m.remove(line(1)), None);
+    }
+
+    #[test]
+    fn reallocation_overwrites_instead_of_duplicating() {
+        let mut m = MshrFile::new(2);
+        m.allocate(line(1), Cycle::new(300));
+        m.allocate(line(1), Cycle::new(400));
+        assert_eq!(m.outstanding(Cycle::new(0)), 1);
+        assert_eq!(m.ready_time(line(1)), Some(Cycle::new(400)));
     }
 
     #[test]
