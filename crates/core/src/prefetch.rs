@@ -249,11 +249,18 @@ impl PrefetchQueue {
 }
 
 /// Per-frame prefetcher registers (Figure 18).
+///
+/// The hardware's per-frame generation-time counter (5-bit, saturating,
+/// incremented every global tick) is represented *lazily*: the frame
+/// stores the tick at which the counter was last reset and the value is
+/// reconstructed as `min(now - reset, MAX_LIVE_TICKS)` on read. This is
+/// bit-identical to stepping the counter every tick and lets the
+/// per-tick hot path skip idle frames entirely.
 #[derive(Debug, Clone, Copy, Default)]
 struct FrameRegs {
-    /// Generation-time counter, in ticks (5-bit, saturating).
-    gt: u8,
-    /// Live-time register: `gt` captured at the latest hit.
+    /// Tick at which the generation-time counter last reset to zero.
+    gt_reset: u64,
+    /// Live-time register: the generation time captured at the latest hit.
     lt: u8,
     /// Tag resident in the frame before the current block.
     prev_tag: Option<u64>,
@@ -266,11 +273,13 @@ struct FrameRegs {
     cur_used: bool,
     /// Cache set index of this frame (captured at fill).
     set_index: u64,
-    /// Armed prefetch: predicted next tag and remaining ticks.
-    /// (tag, countdown ticks, slack ticks past the firing point).
-    armed: Option<(u64, u8, u8)>,
+    /// Armed prefetch: predicted next tag, the absolute tick at which the
+    /// countdown expires, and slack ticks past the firing point. The
+    /// firing tick is mirrored in the prefetcher's armed queue.
+    armed: Option<(u64, u64, u8)>,
     /// Prediction made at a prefetch fill, deferred until the block's
     /// first demand use confirms the chain is still being consumed.
+    /// (tag, countdown ticks, slack) — the countdown starts at promotion.
     deferred: Option<(u64, u8, u8)>,
     /// Most recent address prediction for this frame (for accuracy
     /// scoring even when the prefetch never fires).
@@ -316,6 +325,14 @@ pub struct TimekeepingPrefetcher {
     frames: Vec<FrameRegs>,
     ticker: GlobalTicker,
     scheduled: u64,
+    /// Ticks elapsed since construction (the prefetcher's local clock;
+    /// incremented once per [`tick`](Self::tick)).
+    now_tick: u64,
+    /// Armed prefetches ordered by (firing tick, frame index). Kept in
+    /// lockstep with each frame's `armed` register so a tick only visits
+    /// the frames that actually fire — the in-order iteration reproduces
+    /// the frame-index firing order of a full per-frame scan.
+    armed_queue: std::collections::BTreeSet<(u64, usize)>,
 }
 
 impl TimekeepingPrefetcher {
@@ -327,7 +344,16 @@ impl TimekeepingPrefetcher {
             frames: vec![FrameRegs::default(); geom.num_frames() as usize],
             ticker,
             scheduled: 0,
+            now_tick: 0,
+            armed_queue: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Current value of `frame`'s generation-time counter: ticks since its
+    /// last reset, saturating at the 5-bit hardware maximum.
+    fn gt_of(&self, frame: usize) -> u8 {
+        (self.now_tick - self.frames[frame].gt_reset).min(CorrelationTable::MAX_LIVE_TICKS as u64)
+            as u8
     }
 
     /// The global ticker driving the counters.
@@ -349,11 +375,14 @@ impl TimekeepingPrefetcher {
     /// generation-time counter. If the resident block arrived by prefetch,
     /// its first use arms the deferred chain prediction.
     pub fn on_hit(&mut self, frame: usize) {
+        let gt = self.gt_of(frame);
         let f = &mut self.frames[frame];
-        f.lt = f.gt;
+        f.lt = gt;
         f.cur_used = true;
-        if let Some(d) = f.deferred.take() {
-            f.armed = Some(d);
+        if let Some((tag, countdown, slack)) = f.deferred.take() {
+            let fire = self.now_tick + u64::from(countdown);
+            f.armed = Some((tag, fire, slack));
+            self.armed_queue.insert((fire, frame));
         }
     }
 
@@ -385,9 +414,10 @@ impl TimekeepingPrefetcher {
         new_tag: u64,
         defer: bool,
     ) -> Option<Prediction> {
-        let (old_prev, old_cur, lt, gt, old_used) = {
+        let gt = self.gt_of(frame);
+        let (old_prev, old_cur, lt, old_used) = {
             let f = &self.frames[frame];
-            (f.prev_tag, f.cur_tag, f.lt, f.gt, f.cur_used)
+            (f.prev_tag, f.cur_tag, f.lt, f.cur_used)
         };
         // An unused prefetched block is erased from the history: the
         // demand sequence of the frame skips it entirely.
@@ -402,12 +432,13 @@ impl TimekeepingPrefetcher {
         }
         // Access: history (A, B) predicts B's successor and live time.
         let prediction = hist.and_then(|a| self.table.lookup(a, new_tag, set_index));
+        let now_tick = self.now_tick;
         let f = &mut self.frames[frame];
         f.prev_tag = hist;
         f.cur_tag = Some(new_tag);
         f.cur_used = !defer;
         f.set_index = set_index;
-        f.gt = 0;
+        f.gt_reset = now_tick;
         f.lt = 0;
         f.last_prediction = prediction.map(|p| p.next_tag);
         // Arm: fire at twice the predicted live time (the live time is
@@ -415,16 +446,24 @@ impl TimekeepingPrefetcher {
         // a zero prediction fires at the next tick. The predicted slack is
         // the remaining generation time past the firing point.
         let arm = prediction.map(|p| {
-            let fire = (u16::from(p.live_time_ticks) << 1).clamp(1, 255) as u8;
-            let slack = p.gen_time_ticks.saturating_sub(fire);
-            (p.next_tag, fire, slack)
+            let countdown = (u16::from(p.live_time_ticks) << 1).clamp(1, 255) as u8;
+            let slack = p.gen_time_ticks.saturating_sub(countdown);
+            (p.next_tag, countdown, slack)
         });
+        // Overwriting an armed frame retires its queued firing.
+        if let Some((_, old_fire, _)) = f.armed.take() {
+            self.armed_queue.remove(&(old_fire, frame));
+        }
+        let f = &mut self.frames[frame];
         if defer {
             f.deferred = arm;
-            f.armed = None;
         } else {
-            f.armed = arm;
             f.deferred = None;
+            if let Some((tag, countdown, slack)) = arm {
+                let fire = now_tick + u64::from(countdown);
+                f.armed = Some((tag, fire, slack));
+                self.armed_queue.insert((fire, frame));
+            }
         }
         prediction
     }
@@ -444,30 +483,51 @@ impl TimekeepingPrefetcher {
     /// zero are returned for enqueueing.
     pub fn tick(&mut self) -> Vec<PrefetchRequest> {
         let mut fired = Vec::new();
-        for (i, f) in self.frames.iter_mut().enumerate() {
-            f.gt = f.gt.saturating_add(1).min(CorrelationTable::MAX_LIVE_TICKS);
-            if let Some((tag, ticks, slack)) = f.armed {
-                if ticks <= 1 {
-                    f.armed = None;
-                    fired.push(PrefetchRequest {
-                        line: self.geom.line_from_parts(tag, f.set_index),
-                        frame: i,
-                        need_in_ticks: Some(slack),
-                    });
-                } else {
-                    f.armed = Some((tag, ticks - 1, slack));
-                }
-            }
-        }
-        self.scheduled += fired.len() as u64;
+        self.tick_into(&mut fired);
         fired
+    }
+
+    /// Advances one global tick exactly as [`tick`](Self::tick), appending
+    /// fired prefetches to `out` instead of allocating a fresh vector. The
+    /// per-tick hot path reuses one scratch buffer across ticks; a buffer
+    /// with capacity for one request per frame never reallocates (a tick
+    /// fires at most one prefetch per frame).
+    pub fn tick_into(&mut self, out: &mut Vec<PrefetchRequest>) {
+        self.now_tick += 1;
+        let before = out.len();
+        // Only frames whose countdown expires this tick are visited; the
+        // queue's (tick, frame) order reproduces the frame-index firing
+        // order of the hardware's full per-frame scan. Generation-time
+        // counters advance implicitly (they are reconstructed from
+        // `gt_reset` on read), so idle frames cost nothing.
+        while let Some(&(fire, i)) = self.armed_queue.first() {
+            if fire > self.now_tick {
+                break;
+            }
+            debug_assert_eq!(fire, self.now_tick, "armed firings drain every tick");
+            self.armed_queue.pop_first();
+            let f = &mut self.frames[i];
+            let (tag, _, slack) = f.armed.take().expect("armed queue mirrors frame registers");
+            let set_index = f.set_index;
+            out.push(PrefetchRequest {
+                line: self.geom.line_from_parts(tag, set_index),
+                frame: i,
+                need_in_ticks: Some(slack),
+            });
+        }
+        self.scheduled += (out.len() - before) as u64;
     }
 
     /// Disarms any pending prefetch for `frame` (a demand miss got there
     /// first). Returns `true` if a prefetch was pending or deferred.
     pub fn disarm(&mut self, frame: usize) -> bool {
         let f = &mut self.frames[frame];
-        f.armed.take().is_some() | f.deferred.take().is_some()
+        let armed = f.armed.take();
+        let deferred = f.deferred.take();
+        if let Some((_, fire, _)) = armed {
+            self.armed_queue.remove(&(fire, frame));
+        }
+        armed.is_some() | deferred.is_some()
     }
 }
 
@@ -624,6 +684,32 @@ mod tests {
         let pred = p.on_fill(0, 0, 0xA).unwrap();
         assert_eq!(pred.live_time_ticks, 0);
         assert_eq!(p.tick().len(), 1, "zero-lt prediction fires at next tick");
+    }
+
+    #[test]
+    fn tick_into_matches_tick_without_reallocating() {
+        let train = |p: &mut TimekeepingPrefetcher| {
+            p.on_fill(0, 0, 0xD);
+            p.on_fill(0, 0, 0xA);
+            p.on_fill(0, 0, 0xB); // trains (D,A)->B with lt(A)=0
+            p.on_fill(0, 0, 0xD);
+            p.on_fill(0, 0, 0xA); // armed: fires on the next tick
+        };
+        let mut a = pf();
+        let mut b = pf();
+        train(&mut a);
+        train(&mut b);
+        // A scratch buffer sized one-request-per-frame never grows.
+        let mut scratch = Vec::with_capacity(geom().num_frames() as usize);
+        let cap = scratch.capacity();
+        for _ in 0..600 {
+            let fired = a.tick();
+            scratch.clear();
+            b.tick_into(&mut scratch);
+            assert_eq!(fired, scratch);
+            assert_eq!(scratch.capacity(), cap, "tick_into must not reallocate");
+        }
+        assert_eq!(a.scheduled(), b.scheduled());
     }
 
     #[test]

@@ -169,6 +169,14 @@ impl GlobalTicker {
         ticks * self.period
     }
 
+    /// The first cycle of tick index `tick` — the boundary at which
+    /// counters clocked by this ticker advance into that tick. Used by
+    /// event-driven clocks to schedule the next tick as a wake-up.
+    #[inline]
+    pub const fn cycle_of_tick(&self, tick: u64) -> Cycle {
+        Cycle::new(tick * self.period)
+    }
+
     /// True if a tick boundary falls in the half-open interval
     /// `(from, to]` — i.e., whether per-line counters advance when time
     /// moves from `from` to `to`.
@@ -328,6 +336,16 @@ mod tests {
     #[test]
     fn ticker_default_is_paper_period() {
         assert_eq!(GlobalTicker::default().period(), 512);
+    }
+
+    #[test]
+    fn cycle_of_tick_is_boundary() {
+        let t = GlobalTicker::new(512);
+        assert_eq!(t.cycle_of_tick(0), Cycle::ZERO);
+        assert_eq!(t.cycle_of_tick(3), Cycle::new(1536));
+        // The returned cycle is the first one inside that tick.
+        assert_eq!(t.tick_of(t.cycle_of_tick(3)), 3);
+        assert_eq!(t.tick_of(t.cycle_of_tick(3) + 511), 3);
     }
 
     #[test]

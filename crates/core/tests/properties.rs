@@ -130,6 +130,27 @@ proptest! {
         prop_assert!(cycles - t.cycles(ticks) < period);
     }
 
+    /// Jump arithmetic used by the event-driven clock: `cycle_of_tick` is
+    /// the exact left inverse of `tick_of`, and the boundary it names is
+    /// the first cycle of its tick — hopping the clock straight to it
+    /// crosses exactly one tick, never zero and never two.
+    #[test]
+    fn ticker_jump_boundaries(period in 1u64..10_000, cycle in 0u64..10_000_000) {
+        let t = GlobalTicker::new(period);
+        let c = Cycle::new(cycle);
+        let tick = t.tick_of(c);
+        let boundary = t.cycle_of_tick(tick);
+        prop_assert_eq!(t.tick_of(boundary), tick);
+        prop_assert!(boundary <= c, "a tick starts at or before any cycle inside it");
+        let next = t.cycle_of_tick(tick + 1);
+        prop_assert!(c < next, "cycle lies before the next boundary");
+        prop_assert_eq!(t.ticks_between(c, next), 1, "hopping to the boundary crosses one tick");
+        prop_assert!(
+            !t.ticked_between(boundary, Cycle::new(next.get() - 1)),
+            "no tick strictly inside the span"
+        );
+    }
+
     /// A coarse counter never exceeds its width's maximum regardless of
     /// the advance sequence.
     #[test]

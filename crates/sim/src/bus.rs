@@ -97,6 +97,14 @@ impl Bus {
         self.next_free.since(now)
     }
 
+    /// The cycle at which every current reservation has drained. The bus
+    /// state is static between transfers, so `backlog(c)` for any future
+    /// `c` is fully determined by this value — which makes it the bus's
+    /// contribution to event-driven wake-up computation.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
     /// Schedules a prefetch transfer requested at `now` only if the demand
     /// backlog is below `max_backlog` cycles; demand traffic has priority,
     /// so prefetches yield whenever the bus is meaningfully congested.

@@ -177,6 +177,12 @@ pub struct SystemConfig {
     /// far in the future) are issued only on a fully idle bus, smoothing
     /// bus contention; urgent ones use the normal demand-priority gate.
     pub slack_prefetch: bool,
+    /// Reference mode: advance the core clock one cycle at a time instead
+    /// of hopping over provably dead cycles. Results are bit-identical
+    /// either way (the differential suite in `tests/step_equivalence.rs`
+    /// proves it); this mode exists as the oracle for that proof and costs
+    /// an order of magnitude of wall-clock time on memory-bound runs.
+    pub step_every_cycle: bool,
 }
 
 /// A rejected [`SystemConfigBuilder`] combination.
@@ -301,6 +307,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Steps the core clock every cycle instead of event-driven hopping
+    /// (the bit-identical but slow reference mode).
+    pub fn step_every_cycle(mut self) -> Self {
+        self.cfg.step_every_cycle = true;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -350,6 +363,7 @@ impl SystemConfig {
                 predict_only: false,
                 decay_interval: None,
                 slack_prefetch: false,
+                step_every_cycle: false,
             },
         }
     }
@@ -470,6 +484,13 @@ impl SystemConfig {
                 .map_or("none".to_owned(), |d| d.to_string()),
             self.slack_prefetch,
         ));
+        // The hopping clock is bit-identical to per-cycle stepping, so the
+        // default mode adds nothing to the key (cached results are valid
+        // across the two); the reference mode is tagged only so its runs
+        // are distinguishable in reports.
+        if self.step_every_cycle {
+            key.push_str(" step_every_cycle=true");
+        }
         key
     }
 }
@@ -502,6 +523,18 @@ mod tests {
         assert_eq!(m.prefetch_mshrs, 32);
         assert_eq!(m.prefetch_queue, 128);
         assert_eq!(m.victim_entries, 32);
+    }
+
+    #[test]
+    fn step_reference_mode_tags_cache_key() {
+        let hop = SystemConfig::base();
+        let step = SystemConfig::builder().step_every_cycle().build().unwrap();
+        assert!(!hop.step_every_cycle);
+        assert!(step.step_every_cycle);
+        // Hopping is the default and bit-identical, so it leaves the key
+        // untouched; only the reference mode is tagged.
+        assert!(!hop.cache_key().contains("step_every_cycle"));
+        assert!(step.cache_key().ends_with(" step_every_cycle=true"));
     }
 
     #[test]

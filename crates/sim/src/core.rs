@@ -106,6 +106,7 @@ impl OooCore {
     ) -> CoreStats {
         let mut stats = CoreStats::default();
         let ignore_swpf = mem.config().ignore_sw_prefetch;
+        let step_every_cycle = mem.config().step_every_cycle;
         let mut cycle = Cycle::ZERO;
         let mut fetched: u64 = 0;
         // Completion time of the most recent chained load: the next
@@ -190,7 +191,49 @@ impl OooCore {
                 stats.window_full_cycles += 1;
             }
 
-            cycle += 1;
+            // Event-driven clock hopping: when the next cycle can neither
+            // retire (window head not ready) nor issue (window full, no
+            // more instructions to fetch, or a stalled chained load whose
+            // address is not ready), every cycle up to the earliest wake-up
+            // source is provably a no-op — the window's completion times
+            // are fixed at issue, and the memory system replays its own
+            // events inside `advance`. Hop straight there, bulk-accounting
+            // the skipped span. `step_every_cycle` keeps the original
+            // per-cycle reference loop for differential testing.
+            let mut next = cycle + 1;
+            if !step_every_cycle {
+                let blocked = fetched >= max_instructions
+                    || self.window.len() >= self.window_size
+                    || self.stalled.is_some();
+                if blocked {
+                    // The earliest cycle at which anything can happen:
+                    // in-order retirement of the window head, a stalled
+                    // chained load's address becoming available, or the
+                    // memory system's next self-scheduled event.
+                    let mut wake = Cycle::new(u64::MAX);
+                    if let Some(&front) = self.window.front() {
+                        wake = front;
+                    }
+                    if self.stalled.is_some() && chain_ready < wake {
+                        wake = chain_ready;
+                    }
+                    if let Some(e) = mem.next_event(cycle) {
+                        if e < wake {
+                            wake = e;
+                        }
+                    }
+                    if wake > next {
+                        // Every skipped cycle would have counted as a
+                        // window-full stall iff the issue loop ran and hit
+                        // a full window — exactly this condition.
+                        if self.window.len() >= self.window_size && fetched < max_instructions {
+                            stats.window_full_cycles += wake.get() - next.get();
+                        }
+                        next = wake;
+                    }
+                }
+            }
+            cycle = next;
             stats.cycles = cycle.get();
         }
         mem.finish(cycle);
@@ -216,11 +259,12 @@ mod tests {
     }
 
     /// Pointer-chase-like: every instruction is a load to a new line,
-    /// serialized by nothing but bandwidth.
+    /// serialized by nothing but bandwidth. Strides one 64 B L2 block per
+    /// access, so every reference opens a new line at both cache levels.
     struct MissStream(u64);
     impl Workload for MissStream {
         fn next_instr(&mut self) -> Instr {
-            self.0 += 64;
+            self.0 += 1;
             Instr::Load(MemRef::new(Addr::new(self.0 * 64), Pc::new(4)))
         }
         fn name(&self) -> &str {
@@ -265,6 +309,25 @@ mod tests {
             stats.ipc()
         );
         assert_eq!(stats.loads, 10_000);
+    }
+
+    #[test]
+    fn miss_stream_strides_exactly_one_l2_block() {
+        // Pin the intended stride: one 64 B L2 block (and therefore a new
+        // 32 B L1 line) per access. A double-scaling bug here once made the
+        // stride 4096 B, turning the "new line every load" workload into an
+        // 8-set conflict sweep.
+        let mut w = MissStream(0);
+        let addr_of = |i: Instr| match i {
+            Instr::Load(m) => m.addr.get(),
+            other => panic!("MissStream must produce loads, got {other:?}"),
+        };
+        let mut prev = addr_of(w.next_instr());
+        for _ in 0..16 {
+            let cur = addr_of(w.next_instr());
+            assert_eq!(cur - prev, 64, "stride must be one 64 B L2 block");
+            prev = cur;
+        }
     }
 
     #[test]

@@ -185,6 +185,13 @@ pub struct MemorySystem {
     /// Lines ever seen, for the cold-miss-only study L1.
     pub(crate) cold_seen: LineSet,
     pub(crate) last_tick: u64,
+    /// High-water mark of [`advance`](MemorySystem::advance) calls: the
+    /// event-replay loop walks from here to the requested cycle.
+    pub(crate) last_advance: Cycle,
+    /// Reusable buffer for prefetches fired by a global tick (avoids a
+    /// per-tick allocation; sized one request per frame, so it never
+    /// grows).
+    pub(crate) tick_scratch: Vec<timekeeping::PrefetchRequest>,
     pub(crate) stats: HierarchyStats,
     pub(crate) checker: Option<Box<LockstepChecker>>,
     /// Optional pipeline event trace (see
@@ -274,6 +281,11 @@ impl MemorySystem {
             timeliness: TimelinessStats::new(),
             cold_seen: LineSet::default(),
             last_tick: 0,
+            last_advance: Cycle::ZERO,
+            tick_scratch: match cfg.prefetch {
+                PrefetchMode::Timekeeping(_) => Vec::with_capacity(num_frames),
+                _ => Vec::new(),
+            },
             stats: HierarchyStats::default(),
             checker: None,
             event_log: None,
@@ -321,6 +333,15 @@ impl MemorySystem {
     /// Aggregate counters.
     pub fn stats(&self) -> HierarchyStats {
         self.stats
+    }
+
+    /// Capacity of the reusable buffer receiving tick-fired prefetches.
+    /// Pre-sized to one request per L1 frame (the per-tick maximum), so a
+    /// value unchanged across a run demonstrates the global-tick hot path
+    /// performed no allocation — `core_bench` asserts exactly that.
+    #[doc(hidden)]
+    pub fn tick_scratch_capacity(&self) -> usize {
+        self.tick_scratch.capacity()
     }
 
     /// Timekeeping metric distributions and predictor scores.
@@ -568,16 +589,12 @@ mod tests {
         assert!(out2.vc_hit, "fresh victim must be buffered: {out2:?}");
     }
 
-    /// Advances the system in small steps (as the per-cycle core loop
-    /// would) from `from` to `to`.
-    fn advance_stepped(sys: &mut MemorySystem, from: u64, to: u64) {
-        let mut t = from;
-        while t < to {
-            sys.advance(Cycle::new(t));
-            t += 32;
-        }
-        sys.advance(Cycle::new(to));
-    }
+    // These prefetcher tests jump `advance` straight across each
+    // inter-access gap: `advance` is jump-capable (it replays every
+    // intermediate tick, arrival, and issue event at its true timestamp),
+    // so the old hand-rolled small-step emulation of the per-cycle core
+    // loop is unnecessary (`tests/step_equivalence.rs` proves jumping and
+    // stepping bit-identical).
 
     #[test]
     fn timekeeping_prefetcher_learns_stream() {
@@ -593,7 +610,7 @@ mod tests {
         for rep in 0..50 {
             for i in 0..3u64 {
                 let a = mref(0x40 + i * stride);
-                advance_stepped(&mut sys, now.saturating_sub(2000), now);
+                sys.advance(Cycle::new(now));
                 let out = sys.access(&a, false, Cycle::new(now));
                 if rep >= 10 && out.l1_hit {
                     hits_after_training += 1;
@@ -644,7 +661,7 @@ mod tests {
         for _ in 0..80 {
             for i in 0..3u64 {
                 let a = mref(0x40 + i * stride);
-                advance_stepped(&mut sys, now.saturating_sub(900), now);
+                sys.advance(Cycle::new(now));
                 sys.access(&a, false, Cycle::new(now));
                 now += 900;
             }
@@ -698,7 +715,7 @@ mod tests {
         let mut now = 0u64;
         for _ in 0..60 {
             for i in 0..4u64 {
-                advance_stepped(&mut sys, now.saturating_sub(2000), now);
+                sys.advance(Cycle::new(now));
                 sys.access(&mref(0x40 + i * stride), false, Cycle::new(now));
                 now += 2000;
             }
@@ -725,7 +742,7 @@ mod tests {
             let mut now = 0u64;
             for _ in 0..60 {
                 for i in 0..3u64 {
-                    advance_stepped(&mut sys, now.saturating_sub(2000), now);
+                    sys.advance(Cycle::new(now));
                     sys.access(&mref(0x40 + i * stride), false, Cycle::new(now));
                     now += 2000;
                 }

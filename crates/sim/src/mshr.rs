@@ -113,6 +113,19 @@ impl MshrFile {
         ready
     }
 
+    /// Whether a register would be free at `now`, counting only entries
+    /// whose data has not yet returned. A pure timing query: unlike
+    /// [`next_free`](Self::next_free) it neither expires entries nor
+    /// counts a full-file stall, so event-schedule computations can probe
+    /// the file without perturbing its statistics.
+    pub fn has_free_at(&self, now: Cycle) -> bool {
+        self.entries
+            .iter()
+            .filter(|&&(_, ready)| ready > now)
+            .count()
+            < self.capacity
+    }
+
     /// Earliest time at which a register will free up (`None` if one is
     /// free right now at `now`).
     pub fn next_free(&mut self, now: Cycle) -> Option<Cycle> {
@@ -218,6 +231,19 @@ mod tests {
         assert_eq!(m.full_stalls(), 1);
         // After 200 the file has room again.
         assert_eq!(m.next_free(Cycle::new(200)), None);
+    }
+
+    #[test]
+    fn has_free_at_is_pure() {
+        let mut m = MshrFile::new(2);
+        m.allocate(line(1), Cycle::new(300));
+        m.allocate(line(2), Cycle::new(200));
+        assert!(!m.has_free_at(Cycle::new(10)));
+        // An entry stops occupying its register the cycle its data returns.
+        assert!(m.has_free_at(Cycle::new(200)));
+        // The query neither expired entries nor counted a stall.
+        assert_eq!(m.full_stalls(), 0);
+        assert_eq!(m.outstanding(Cycle::new(0)), 2);
     }
 
     #[test]

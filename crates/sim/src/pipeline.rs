@@ -43,7 +43,7 @@ use timekeeping::{
 use timekeeping::{Histogram, L2IntervalMonitor, MetricsCollector, Pc};
 
 use crate::cache::ProbeResult;
-use crate::config::L1Mode;
+use crate::config::{L1Mode, MachineConfig};
 use crate::hierarchy::{AccessOutcome, MemorySystem};
 use crate::oracle::SimLevel;
 use crate::trace::MemRef;
@@ -568,6 +568,23 @@ pub(crate) struct PendingPf {
     /// Predicted cycle by which the line will be demanded (for slack
     /// scheduling), when the predictor supplied one.
     pub(crate) deadline: Option<Cycle>,
+}
+
+/// Backlog allowances and the slack-urgency window governing prefetch
+/// issue, derived from the machine latencies. Shared between the issue
+/// gates themselves and the event computation that predicts when they
+/// open ([`MemorySystem::next_event`]) — one source of truth, so the two
+/// cannot drift.
+fn pf_gate_limits(m: &MachineConfig) -> (u64, u64, u64) {
+    (
+        // L1/L2 bus: one L2 round-trip of backlog is tolerated.
+        m.l2_latency + 2 * m.l1l2_bus_occupancy,
+        // L2/memory bus: a few transfers of backlog.
+        4 * m.l2mem_bus_occupancy,
+        // A prefetch is "urgent" once its predicted need time is within a
+        // worst-case fetch latency of now.
+        m.l2_latency + m.mem_latency + 2 * m.l2mem_bus_occupancy,
+    )
 }
 
 /// Looks up the pending deadline recorded for a queued request.
@@ -1128,23 +1145,133 @@ impl MemorySystem {
     // -- prefetch lifecycle -------------------------------------------------
 
     /// Advances background machinery to `now`: global ticks (prefetch
-    /// counters), prefetch issue, and prefetch arrivals. Call once per
-    /// cycle, before the cycle's accesses.
+    /// counters), prefetch issue, and prefetch arrivals.
+    ///
+    /// Correct under arbitrary forward jumps: every intermediate event
+    /// between the previous call and `now` — tick boundary, prefetch
+    /// arrival, issue-gate opening — is replayed at its true timestamp
+    /// (via [`next_event`](Self::next_event)), so one jump is
+    /// bit-identical to calling `advance` every cycle.
     pub fn advance(&mut self, now: Cycle) {
-        // Global ticks.
-        let cur_tick = self.ticker.tick_of(now);
-        while self.last_tick < cur_tick {
-            self.last_tick += 1;
-            let fired = match &mut self.obs.predictors.prefetcher {
-                PrefetcherImpl::Tk(p) => p.tick(),
-                _ => Vec::new(),
-            };
-            for req in fired {
-                self.enqueue_prefetch(req, now);
+        if now <= self.last_advance {
+            // Re-advancing within the present: the per-cycle body is
+            // idempotent at a fixed timestamp.
+            self.advance_cycle(now);
+            return;
+        }
+        while let Some(e) = self.next_event(self.last_advance) {
+            if e >= now {
+                break;
             }
+            self.advance_cycle(e);
+        }
+        self.advance_cycle(now);
+    }
+
+    /// Runs one cycle's worth of background machinery at timestamp `now`:
+    /// tick catch-up (with enqueue deadlines anchored at `now`), then
+    /// arrivals, then issue — the same order the per-cycle loop used.
+    fn advance_cycle(&mut self, now: Cycle) {
+        let cur_tick = self.ticker.tick_of(now);
+        if self.last_tick < cur_tick {
+            let mut fired = std::mem::take(&mut self.tick_scratch);
+            while self.last_tick < cur_tick {
+                self.last_tick += 1;
+                fired.clear();
+                if let PrefetcherImpl::Tk(p) = &mut self.obs.predictors.prefetcher {
+                    // When the prefetcher is active, every tick boundary is
+                    // an event (next_event reports it), so this loop runs
+                    // exactly once per boundary and `now` is the boundary
+                    // cycle itself — deadlines come out exact.
+                    p.tick_into(&mut fired);
+                }
+                for req in fired.iter().copied() {
+                    self.enqueue_prefetch(req, now);
+                }
+            }
+            fired.clear();
+            self.tick_scratch = fired;
         }
         self.stage_prefetch_arrival(now);
         self.issue_prefetches(now);
+        self.last_advance = self.last_advance.max(now);
+    }
+
+    /// The earliest cycle strictly after `now` at which the memory system
+    /// can change state *on its own* (without a new demand access):
+    ///
+    /// - the next global tick boundary, when the timekeeping prefetcher's
+    ///   per-frame counters are clocked by it (for other configurations a
+    ///   tick mutates nothing and is not an event);
+    /// - the earliest in-flight prefetch arrival (which also covers
+    ///   prefetch-MSHR registers freeing up — they drain at arrivals);
+    /// - the first cycle the prefetch-issue gates (bus backlog, slack
+    ///   urgency/idleness, MSHR availability) can open for the queued
+    ///   head.
+    ///
+    /// Returns `None` when the system is quiescent: nothing will change
+    /// until the next access. Every gate is monotone in time against
+    /// otherwise-static state, so the returned cycle is exact — advancing
+    /// to any earlier cycle is a no-op, which is what makes clock hopping
+    /// bit-identical to per-cycle stepping.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            if c > now && next.is_none_or(|n| c < n) {
+                next = Some(c);
+            }
+        };
+        if matches!(self.obs.predictors.prefetcher, PrefetcherImpl::Tk(_)) {
+            consider(self.ticker.cycle_of_tick(self.last_tick + 1));
+        }
+        if let Some(&Reverse((arrive, _, _))) = self.inflight_pf.peek() {
+            consider(Cycle::new(arrive));
+        }
+        if let Some(c) = self.next_issue_opportunity(now) {
+            consider(c);
+        }
+        next
+    }
+
+    /// The first cycle strictly after `now` at which
+    /// [`issue_prefetches`](Self::issue_prefetches) could make progress,
+    /// given that no other event intervenes. Mirrors the issue gates
+    /// exactly: each gate condition is monotone in the probe cycle (bus
+    /// backlogs only drain, deadlines only get nearer), so solving each
+    /// threshold inequality for the probe cycle gives the precise opening
+    /// time.
+    fn next_issue_opportunity(&self, now: Cycle) -> Option<Cycle> {
+        if self.pf_queue.is_empty() {
+            return None;
+        }
+        // A full file drains only at an arrival, which is already an
+        // event; no separate wake-up needed.
+        if !self.prefetch_mshrs.has_free_at(now) {
+            return None;
+        }
+        let (max_backlog, max_mem_backlog, urgency_window) = pf_gate_limits(&self.cfg.machine);
+        let nf1 = self.l1l2_bus.next_free().get();
+        let nf2 = self.l2mem_bus.next_free().get();
+        // backlog(c) = next_free - c <= max  ⇔  c >= next_free - max.
+        let mut open = nf1
+            .saturating_sub(max_backlog)
+            .max(nf2.saturating_sub(max_mem_backlog));
+        if self.cfg.slack_prefetch {
+            let geom = *self.l1d.geometry();
+            let head_deadline = self
+                .pf_queue
+                .peek()
+                .and_then(|r| geom_deadline(&self.pending_pf, geom, r));
+            // urgent(c) ⇔ deadline - c <= window ⇔ c >= deadline - window;
+            // an unknown deadline is always urgent.
+            let urgent_at = head_deadline.map_or(0, |d| d.get().saturating_sub(urgency_window));
+            // idle(c) ⇔ both backlogs are zero ⇔ c >= max(next_free).
+            let idle_at = nf1.max(nf2);
+            // The slack gate passes once the head is urgent OR the buses
+            // are fully idle, whichever comes first.
+            open = open.max(urgent_at.min(idle_at));
+        }
+        Some(Cycle::new(open).max(now + 1))
     }
 
     /// Resolves or annotates the pending prefetch for `set` when a demand
@@ -1229,12 +1356,7 @@ impl MemorySystem {
     /// one L2 round-trip: beyond that, demand traffic owns the bus.
     fn issue_prefetches(&mut self, now: Cycle) {
         let geom = *self.l1d.geometry();
-        let m = self.cfg.machine;
-        let max_backlog = m.l2_latency + 2 * m.l1l2_bus_occupancy;
-        let max_mem_backlog = 4 * m.l2mem_bus_occupancy;
-        // A prefetch is "urgent" once its predicted need time is within a
-        // worst-case fetch latency of now.
-        let urgency_window = m.l2_latency + m.mem_latency + 2 * m.l2mem_bus_occupancy;
+        let (max_backlog, max_mem_backlog, urgency_window) = pf_gate_limits(&self.cfg.machine);
         loop {
             if self.pf_queue.is_empty() {
                 return;

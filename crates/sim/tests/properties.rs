@@ -319,3 +319,44 @@ proptest! {
         prop_assert!(large >= small - 1e-9, "256-entry {large} < 32-entry {small}");
     }
 }
+
+// --------------------------------------------------- event-driven advance
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Advancing the memory system cycle-by-cycle from a to b is
+    /// indistinguishable from a single jump `advance(b)`: the event-driven
+    /// advance replays every intermediate wake-up (global tick, prefetch
+    /// arrival, issue-gate opening) at its true timestamp, so access
+    /// outcomes and every hierarchy statistic stay bit-equal under an
+    /// arbitrary access schedule with arbitrary idle gaps.
+    #[test]
+    fn advance_jump_equals_stepping(
+        schedule in vec((1u64..1_500, 0u64..512, any::<bool>()), 1..80),
+    ) {
+        let cfg = SystemConfig::with_prefetch(tk_sim::PrefetchMode::Timekeeping(
+            timekeeping::CorrelationConfig::PAPER_8KB,
+        ));
+        let mut jump = tk_sim::MemorySystem::new(cfg);
+        let mut step = tk_sim::MemorySystem::new(cfg);
+        let mut now = 0u64;
+        for (gap, line, is_store) in schedule {
+            let prev = now;
+            now += gap;
+            for c in prev + 1..=now {
+                step.advance(Cycle::new(c));
+            }
+            jump.advance(Cycle::new(now));
+            // Reuse a small set of lines so prefetches actually train/fire.
+            let mref = MemRef::new(Addr::new(0x4_0000 + line * 32), Pc::new(0x10));
+            let a = jump.access(&mref, is_store, Cycle::new(now));
+            let b = step.access(&mref, is_store, Cycle::new(now));
+            prop_assert_eq!(a, b, "outcome diverged at cycle {}", now);
+        }
+        jump.finish(Cycle::new(now));
+        step.finish(Cycle::new(now));
+        prop_assert_eq!(jump.stats(), step.stats());
+        prop_assert_eq!(jump.miss_breakdown(), step.miss_breakdown());
+        prop_assert_eq!(jump.pf_queue_discards(), step.pf_queue_discards());
+    }
+}

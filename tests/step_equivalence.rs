@@ -1,0 +1,118 @@
+//! Differential proof that event-driven clock hopping is bit-identical
+//! to per-cycle stepping.
+//!
+//! Every workload runs twice from identical state: once with the default
+//! hopping clock (`OooCore::run` jumps over provably dead cycles and
+//! `MemorySystem::advance` replays intermediate events at their true
+//! timestamps) and once in the `step_every_cycle` reference mode (the
+//! original cycle-by-cycle loop). The *entire* [`RunResult`] snapshot —
+//! core stats, hierarchy counters, miss breakdown, metric distributions,
+//! victim/prefetch/timeliness/correlation/DBCP statistics — must compare
+//! bit-equal. Any divergence means a skipped cycle was not actually dead.
+
+use timekeeping::snapshot::Snapshot;
+use tk_bench::FigureOpts;
+use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_workloads::SpecBenchmark;
+
+/// Runs `bench` under `cfg` with both clocks and asserts bit-equality.
+fn assert_equivalent(bench: SpecBenchmark, cfg: SystemConfig, instructions: u64) {
+    assert!(
+        !cfg.step_every_cycle,
+        "pass the hopping config; the reference is derived here"
+    );
+    let mut step_cfg = cfg;
+    step_cfg.step_every_cycle = true;
+
+    let hop = run_workload(&mut bench.build(1), cfg, instructions);
+    let step = run_workload(&mut bench.build(1), step_cfg, instructions);
+
+    // The load-bearing snapshots first, for readable failures...
+    assert_eq!(
+        hop.core,
+        step.core,
+        "CoreStats diverged on {} under {}",
+        bench.name(),
+        cfg.cache_key()
+    );
+    assert_eq!(
+        hop.hierarchy,
+        step.hierarchy,
+        "HierarchyStats diverged on {} under {}",
+        bench.name(),
+        cfg.cache_key()
+    );
+    // ...then the full result (breakdown, metrics, victim, timeliness,
+    // correlation, DBCP, queue discards): everything observable must match.
+    assert_eq!(
+        hop.to_json(),
+        step.to_json(),
+        "RunResult snapshot diverged on {} under {}",
+        bench.name(),
+        cfg.cache_key()
+    );
+}
+
+/// All 26 workloads under the base machine: window-full stalls and MSHR /
+/// bus contention are the dominant hop sources here.
+#[test]
+fn all_workloads_base_config() {
+    for &b in &SpecBenchmark::ALL {
+        assert_equivalent(b, SystemConfig::base(), FigureOpts::QUICK_INSTRUCTIONS);
+    }
+}
+
+/// Prefetcher configurations: global ticks, queued/issued prefetch
+/// arrivals, and issue-gate openings are all events the hopping clock
+/// must replay at exact timestamps.
+#[test]
+fn prefetch_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    let tk = PrefetchMode::Timekeeping(timekeeping::CorrelationConfig::PAPER_8KB);
+    let modes = [
+        SystemConfig::with_prefetch(tk),
+        SystemConfig::builder()
+            .prefetch(tk)
+            .slack_prefetch()
+            .build()
+            .expect("slack config is valid"),
+        SystemConfig::with_prefetch(PrefetchMode::Dbcp(timekeeping::DbcpConfig::PAPER_2MB)),
+        SystemConfig::with_prefetch(PrefetchMode::Stride(timekeeping::StrideConfig::default())),
+    ];
+    for cfg in modes {
+        for b in [SpecBenchmark::Mcf, SpecBenchmark::Swim, SpecBenchmark::Gcc] {
+            assert_equivalent(b, cfg, budget);
+        }
+    }
+}
+
+/// Victim-cache and decay configurations: lazily evaluated mechanisms
+/// (admission filters, decay switch-off) must be insensitive to which
+/// cycles the clock actually visits.
+#[test]
+fn victim_and_decay_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    for cfg in [
+        SystemConfig::with_victim(VictimMode::paper_dead_time()),
+        SystemConfig::with_victim(VictimMode::Collins),
+        SystemConfig::with_decay(8_192),
+    ] {
+        for b in [SpecBenchmark::Mcf, SpecBenchmark::Gzip, SpecBenchmark::Art] {
+            assert_equivalent(b, cfg, budget);
+        }
+    }
+}
+
+/// Chained-load stalls (`chain_ready` hops) dominate pointer-chasing
+/// workloads; cover them explicitly with software prefetches stripped so
+/// the stall pattern differs from the base sweep.
+#[test]
+fn pointer_chasing_chain_stalls() {
+    let cfg = SystemConfig::builder()
+        .ignore_sw_prefetch()
+        .build()
+        .expect("config is valid");
+    for b in [SpecBenchmark::Mcf, SpecBenchmark::Art, SpecBenchmark::Ammp] {
+        assert_equivalent(b, cfg, FigureOpts::QUICK_INSTRUCTIONS);
+    }
+}
