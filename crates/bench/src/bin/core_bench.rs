@@ -15,12 +15,13 @@
 //! `BENCH_coreskip.json`.
 //!
 //! ```text
-//! cargo run --release -p tk-bench --bin core_bench [-- [--quick] [--instructions N] [--json]]
+//! cargo run --release -p tk-bench --bin core_bench [-- [--quick] [--instructions N] [--json]
+//!                                                      [--trace[=CATS]] [--profile] [--obs-out DIR]]
 //! ```
 
 use std::time::Instant;
 
-use timekeeping::{CorrelationConfig, DbcpConfig};
+use timekeeping::{CorrelationConfig, DbcpConfig, Snapshot};
 use tk_sim::{MemorySystem, OooCore, PrefetchMode, SystemConfig, VictimMode};
 use tk_workloads::patterns::PointerChasePattern;
 use tk_workloads::{SpecBenchmark, SyntheticWorkload};
@@ -87,6 +88,13 @@ fn run_one(driver: Driver, cfg: SystemConfig, instructions: u64) -> Timing {
     let mut core = OooCore::new(&cfg);
     let mut mem = MemorySystem::new(cfg);
     let scratch_cap = mem.tick_scratch_capacity();
+    let obs_cap = mem.obs_trace_capacity();
+    if !tk_sim::trace_enabled() {
+        // The disabled observability path must be provably free: no ring
+        // buffer exists at all (same discipline as the tick scratch
+        // assert below).
+        assert_eq!(obs_cap, 0, "disabled tracing must allocate nothing");
+    }
     let t0 = Instant::now();
     let stats = core.run(&mut w, &mut mem, instructions);
     let elapsed = t0.elapsed();
@@ -95,7 +103,15 @@ fn run_one(driver: Driver, cfg: SystemConfig, instructions: u64) -> Timing {
         scratch_cap,
         "global-tick scratch buffer must not reallocate"
     );
+    assert_eq!(
+        mem.obs_trace_capacity(),
+        obs_cap,
+        "trace ring buffer must stay bounded (and absent when tracing is off)"
+    );
     assert_eq!(stats.instructions, instructions);
+    if let Some(report) = mem.profile_report() {
+        eprintln!("profile: {}", report.to_json().render());
+    }
     let ns = elapsed.as_nanos() as f64;
     Timing {
         ns_per_instr: ns / stats.instructions as f64,
@@ -110,23 +126,39 @@ fn main() {
     let mut driver = Driver::Chase;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        match a.as_str() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (a.as_str(), None),
+        };
+        match flag {
             "--quick" => instructions = 100_000,
             "--instructions" => {
-                instructions = args
-                    .next()
+                instructions = inline
+                    .map(str::to_owned)
+                    .or_else(|| args.next())
                     .and_then(|v| v.parse().ok())
                     .expect("--instructions takes an unsigned integer");
             }
             "--json" => emit_json = true,
             "--workload" => {
-                driver = match args.next().as_deref() {
+                let v = inline.map(str::to_owned).or_else(|| args.next());
+                driver = match v.as_deref() {
                     Some("chase") => Driver::Chase,
                     Some("mcf") => Driver::Mcf,
                     other => panic!("--workload takes chase|mcf, got {other:?}"),
                 };
             }
-            other => panic!("unknown argument {other:?}"),
+            other => {
+                // The shared observability flags (--trace/--trace-sample/
+                // --profile/--obs-out) parse identically here and in the
+                // figure binaries.
+                let mut next = || args.next();
+                match tk_sim::obs::apply_cli_flag(other, inline, &mut next) {
+                    Ok(true) => {}
+                    Ok(false) => panic!("unknown argument {other:?}"),
+                    Err(e) => panic!("{e}"),
+                }
+            }
         }
     }
 

@@ -5,11 +5,16 @@
 //! (defaults: 8,000,000 and `reports/`). The engine memoizes per job
 //! tuple, so the many figures sharing the base configuration each cost
 //! one simulation per benchmark for the whole invocation.
+//!
+//! Every report is written with a `<name>.manifest.json` beside it,
+//! pinning the simulations, seed, budget, crate versions, wall time and
+//! cache-hit provenance that produced it (see `tk_bench::manifest`).
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
-use tk_bench::{engine, figures, FigureOpts};
+use tk_bench::{engine, figures, manifest, FigureOpts};
 
 fn main() {
     let (opts, positionals) = FigureOpts::from_args_with_positionals();
@@ -46,15 +51,25 @@ fn main() {
         ("fig22", Box::new(figures::fig22)),
     ];
 
+    engine::record_jobs(true);
     for (name, job) in jobs {
         eprintln!(
             "generating {name} ({} instructions/run, {} workers)...",
             opts.instructions, opts.jobs
         );
+        let before = engine::memo_stats();
+        let started = Instant::now();
         let text = job(opts);
+        let wall = started.elapsed();
         let path = dir.join(format!("{name}.txt"));
         fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let ran = engine::take_recorded_jobs();
+        let (m, d, s) = engine::memo_stats();
+        let delta = (m - before.0, d - before.1, s - before.2);
+        manifest::write_manifest(&dir, name, &opts, wall, &ran, delta)
+            .unwrap_or_else(|e| panic!("write manifest for {name}: {e}"));
     }
+    engine::record_jobs(false);
     let (memo_hits, disk_hits, sims) = engine::memo_stats();
     eprintln!(
         "done: reports in {} ({sims} simulations run, {memo_hits} memo hits, {disk_hits} disk hits)",

@@ -1,0 +1,105 @@
+//! Filters, summarizes and pretty-prints captured observability traces.
+//!
+//! ```text
+//! tk_obs_dump FILE [--filter CATS] [--summary | --pretty]
+//! ```
+//!
+//! `FILE` is a trace produced by `--trace --obs-out DIR` — either the
+//! compact binary stream (`trace-NNNN.bin`, sniffed by its `TKTRACE1`
+//! magic) or the JSONL stream (`trace-NNNN.jsonl`). `--filter CATS`
+//! restricts the output to the given comma-separated categories (e.g.
+//! `miss,fill,pf`). `--summary` (the default) prints per-kind counts,
+//! cycle span and distinct-line count as JSON; `--pretty` prints one
+//! aligned line per record.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use tk_sim::obs::{self, TraceCategories};
+
+fn usage() -> String {
+    "usage: tk_obs_dump FILE [--filter CATS] [--summary | --pretty]\n\
+     \n\
+     FILE is a trace captured with --trace --obs-out DIR: either the\n\
+     binary stream (trace-NNNN.bin) or the JSONL stream\n\
+     (trace-NNNN.jsonl); the format is sniffed from the content.\n\
+     \n\
+     options:\n\
+     \x20 --filter CATS   keep only these categories (comma-separated:\n\
+     \x20                 lookup,hit,miss,fill,evict,gen,prefetch; pf ok)\n\
+     \x20 --summary       per-kind counts, cycle span, distinct lines (default)\n\
+     \x20 --pretty        one line per record\n\
+     \x20 --help          this text"
+        .to_owned()
+}
+
+enum Mode {
+    Summary,
+    Pretty,
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut file: Option<String> = None;
+    let mut filter = TraceCategories::all();
+    let mut mode = Mode::Summary;
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_owned())),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--filter" => {
+                let v = inline
+                    .or_else(|| args.next())
+                    .ok_or("--filter needs a category list")?;
+                filter = TraceCategories::parse(&v)?;
+            }
+            "--summary" => mode = Mode::Summary,
+            "--pretty" => mode = Mode::Pretty,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            _ if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            _ => {
+                if file.is_some() {
+                    return Err(format!("unexpected argument `{arg}`"));
+                }
+                file = Some(arg);
+            }
+        }
+    }
+    let path = file.ok_or("missing trace FILE")?;
+    let mut raw = Vec::new();
+    std::fs::File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Sniff the format from the content, not the extension.
+    let records = if raw.starts_with(obs::TRACE_MAGIC) {
+        obs::read_binary(&raw[..]).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        obs::read_jsonl(&raw[..]).map_err(|e| format!("{path}: {e}"))?
+    };
+    match mode {
+        Mode::Summary => println!("{}", obs::summarize(&records, filter).render()),
+        Mode::Pretty => {
+            for rec in &records {
+                if filter.contains(rec.kind.category()) {
+                    println!("{}", rec.pretty());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,6 +20,7 @@ pub mod engine;
 pub mod figures;
 pub mod fmt;
 pub mod golden;
+pub mod manifest;
 pub mod runner;
 
 pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};
@@ -45,7 +46,21 @@ pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};
 macro_rules! figure_main {
     ($fig:ident) => {
         fn main() {
-            println!("{}", $crate::figures::$fig($crate::FigureOpts::from_args()));
+            let opts = $crate::FigureOpts::from_args();
+            // When --obs-out is configured, describe the run in a
+            // manifest beside the trace/profile files.
+            let manifest = $crate::manifest::arm_for_figure();
+            let before = $crate::engine::memo_stats();
+            let started = std::time::Instant::now();
+            println!("{}", $crate::figures::$fig(opts));
+            if manifest {
+                $crate::manifest::finish_for_figure(
+                    stringify!($fig),
+                    &opts,
+                    started.elapsed(),
+                    before,
+                );
+            }
         }
     };
     ($fig:ident, no_args) => {

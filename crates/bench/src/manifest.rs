@@ -1,0 +1,170 @@
+//! Run manifests: the audit record written beside every report.
+//!
+//! A manifest makes a committed figure auditable after the fact — it
+//! pins the exact simulations behind it (config fingerprints via
+//! [`Job::cache_key`]), the seed and instruction budget, the crate
+//! versions that produced it, the wall time, and the cache-hit
+//! provenance from the [`engine`](crate::engine) (how many results were
+//! memo hits, disk hits, or freshly simulated).
+//!
+//! The figure binaries write `<obs-out>/<name>.manifest.json` when
+//! `--obs-out DIR` is given; the `report` binary writes
+//! `<dir>/<name>.manifest.json` beside every report it regenerates.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use timekeeping::snapshot::Json;
+
+use crate::engine::Job;
+use crate::FigureOpts;
+
+/// Builds the manifest JSON for one generated report.
+///
+/// `jobs` is the engine's job log for the run (see
+/// [`engine::take_recorded_jobs`](crate::engine::take_recorded_jobs));
+/// `provenance` is the engine's `(memo_hits, disk_hits, sims_run)`
+/// delta for the run.
+pub fn manifest_json(
+    name: &str,
+    opts: &FigureOpts,
+    wall: Duration,
+    jobs: &[Job],
+    provenance: (u64, u64, u64),
+) -> Json {
+    let mut fingerprints: Vec<String> = jobs.iter().map(Job::cache_key).collect();
+    fingerprints.sort();
+    fingerprints.dedup();
+    let (memo_hits, disk_hits, sims_run) = provenance;
+    Json::obj([
+        ("name", Json::Str(name.to_owned())),
+        ("instructions", Json::U64(opts.instructions)),
+        ("seed", Json::U64(opts.seed)),
+        ("jobs", Json::U64(opts.jobs as u64)),
+        ("check", Json::Bool(opts.check)),
+        ("trace", Json::Bool(opts.trace)),
+        ("profile", Json::Bool(opts.profile)),
+        ("wall_ms", Json::U64(wall.as_millis() as u64)),
+        (
+            "crate_versions",
+            Json::obj([
+                ("timekeeping", Json::Str(timekeeping::VERSION.to_owned())),
+                ("tk-sim", Json::Str(tk_sim::VERSION.to_owned())),
+                ("tk-workloads", Json::Str(tk_workloads::VERSION.to_owned())),
+                ("tk-bench", Json::Str(env!("CARGO_PKG_VERSION").to_owned())),
+            ]),
+        ),
+        (
+            "provenance",
+            Json::obj([
+                ("memo_hits", Json::U64(memo_hits)),
+                ("disk_hits", Json::U64(disk_hits)),
+                ("simulations_run", Json::U64(sims_run)),
+            ]),
+        ),
+        ("simulations", Json::U64(jobs.len() as u64)),
+        (
+            "config_fingerprints",
+            Json::Arr(fingerprints.into_iter().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+/// Writes `<dir>/<name>.manifest.json` and returns its path.
+///
+/// # Errors
+///
+/// Returns the I/O error when the directory or file cannot be written.
+pub fn write_manifest(
+    dir: &Path,
+    name: &str,
+    opts: &FigureOpts,
+    wall: Duration,
+    jobs: &[Job],
+    provenance: (u64, u64, u64),
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.manifest.json"));
+    let json = manifest_json(name, opts, wall, jobs, provenance);
+    std::fs::write(&path, json.render())?;
+    Ok(path)
+}
+
+/// The manifest hook used by [`figure_main!`](crate::figure_main): arms
+/// the engine's job log when `--obs-out` is configured, so the finished
+/// run can be described. Returns whether manifests are enabled.
+pub fn arm_for_figure() -> bool {
+    if tk_sim::obs::out_dir().is_none() {
+        return false;
+    }
+    crate::engine::record_jobs(true);
+    true
+}
+
+/// Completes the [`arm_for_figure`] cycle: drains the job log and writes
+/// the manifest into the configured `--obs-out` directory. `before` is
+/// the [`memo_stats`](crate::engine::memo_stats) snapshot taken before
+/// the run.
+pub fn finish_for_figure(name: &str, opts: &FigureOpts, wall: Duration, before: (u64, u64, u64)) {
+    let jobs = crate::engine::take_recorded_jobs();
+    crate::engine::record_jobs(false);
+    let Some(dir) = tk_sim::obs::out_dir() else {
+        return;
+    };
+    let (m, d, s) = crate::engine::memo_stats();
+    let delta = (m - before.0, d - before.1, s - before.2);
+    match write_manifest(&dir, name, opts, wall, &jobs, delta) {
+        Ok(path) => eprintln!("manifest written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write manifest for {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk_sim::SystemConfig;
+    use tk_workloads::SpecBenchmark;
+
+    #[test]
+    fn manifest_pins_the_run() {
+        let opts = FigureOpts::quick();
+        let jobs = vec![
+            Job::new(SpecBenchmark::Gzip, SystemConfig::base(), 1, 10_000),
+            Job::new(SpecBenchmark::Mcf, SystemConfig::base(), 1, 10_000),
+            // A duplicate submission dedupes in the fingerprint list.
+            Job::new(SpecBenchmark::Gzip, SystemConfig::base(), 1, 10_000),
+        ];
+        let j = manifest_json("fig99", &opts, Duration::from_millis(250), &jobs, (2, 0, 1));
+        assert_eq!(j.get("name").unwrap().as_str().unwrap(), "fig99");
+        assert_eq!(
+            j.u64_field("instructions").unwrap(),
+            FigureOpts::QUICK_INSTRUCTIONS
+        );
+        assert_eq!(j.u64_field("wall_ms").unwrap(), 250);
+        assert_eq!(j.u64_field("simulations").unwrap(), 3);
+        let fps = j.get("config_fingerprints").unwrap().as_arr().unwrap();
+        assert_eq!(fps.len(), 2, "duplicate job tuples dedupe");
+        assert!(fps[0].as_str().unwrap().contains("bench="));
+        let prov = j.get("provenance").unwrap();
+        assert_eq!(prov.u64_field("memo_hits").unwrap(), 2);
+        assert_eq!(prov.u64_field("simulations_run").unwrap(), 1);
+        let vers = j.get("crate_versions").unwrap();
+        assert_eq!(
+            vers.get("tk-sim").unwrap().as_str().unwrap(),
+            tk_sim::VERSION
+        );
+    }
+
+    #[test]
+    fn write_manifest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tk_manifest_{}", std::process::id()));
+        let opts = FigureOpts::quick();
+        let path = write_manifest(&dir, "figX", &opts, Duration::ZERO, &[], (0, 0, 0)).unwrap();
+        assert!(path.ends_with("figX.manifest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("name").unwrap().as_str().unwrap(), "figX");
+        assert_eq!(back.u64_field("simulations").unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,6 +6,7 @@
 //! ```text
 //! <binary> [INSTRUCTIONS] [--instructions N] [--seed S] [--quick]
 //!          [--jobs J] [--cache[=DIR]] [--no-cache] [--check]
+//!          [--trace[=CATS]] [--trace-sample N] [--profile] [--obs-out DIR]
 //! ```
 //!
 //! A bare leading number is accepted as the instruction budget for
@@ -46,6 +47,13 @@ pub struct FigureOpts {
     /// also sets the process-wide flag so the engine's workers pick it
     /// up.
     pub check: bool,
+    /// Whether `--trace[=CATS]` was given: memory systems stream typed
+    /// event records (see `tk_sim::obs`). Like `--check`, the parser
+    /// sets the process-wide flag; this field records it for manifests.
+    pub trace: bool,
+    /// Whether `--profile` was given: memory systems time their own
+    /// pipeline stages and report the breakdown.
+    pub profile: bool,
 }
 
 impl FigureOpts {
@@ -67,6 +75,8 @@ impl FigureOpts {
             jobs: engine::default_jobs(),
             instructions_explicit: false,
             check: false,
+            trace: false,
+            profile: false,
         }
     }
 
@@ -188,6 +198,19 @@ impl FigureOpts {
                     std::process::exit(0);
                 }
                 _ if flag.starts_with('-') => {
+                    // Observability flags share one parser with core_bench
+                    // (tk_sim::obs::apply_cli_flag) — their side effects
+                    // are process-global, like --check and --cache.
+                    let mut next = || args.next();
+                    if tk_sim::obs::apply_cli_flag(flag, inline, &mut next)? {
+                        match flag {
+                            "--trace" => opts.trace = true,
+                            "--profile" => opts.profile = true,
+                            _ => {}
+                        }
+                        first = false;
+                        continue;
+                    }
                     return Err(format!("unknown flag `{flag}`"));
                 }
                 _ => {
@@ -224,6 +247,11 @@ fn usage() -> String {
          \x20 --no-cache         disable the disk cache\n\
          \x20 --check            self-verify: run every simulation in\n\
          \x20                    lockstep with the functional oracle\n\
+         \x20 --trace[=CATS]     stream typed memory events (binary + JSONL);\n\
+         \x20                    CATS filters categories, e.g. miss,fill,pf\n\
+         \x20 --trace-sample N   keep 1-in-N L1 sets in the trace\n\
+         \x20 --profile          time the simulator's own pipeline stages\n\
+         \x20 --obs-out DIR      directory for trace/profile/manifest files\n\
          \x20 --help             this text\n\
          \n\
          A bare leading number is accepted as INSTRUCTIONS (legacy\n\
@@ -401,6 +429,43 @@ mod tests {
         assert!(o.check);
         assert!(tk_sim::lockstep_check_enabled());
         tk_sim::set_lockstep_check(false);
+    }
+
+    #[test]
+    fn obs_flags_share_the_sim_parser() {
+        // Mutates the process-global obs config: save and restore, like
+        // cache_flag_path_handling does for the disk cache.
+        let prev = tk_sim::obs_config();
+
+        let (o, pos) = parse(&["--trace=miss,fill", "--trace-sample=4", "--profile"]).unwrap();
+        assert!(pos.is_empty());
+        assert!(o.trace);
+        assert!(o.profile);
+        let cfg = tk_sim::obs_config();
+        assert_eq!(
+            cfg.trace,
+            Some(tk_sim::TraceCategories::parse("miss,fill").unwrap())
+        );
+        assert_eq!(cfg.sample, 4);
+        assert!(cfg.profile);
+
+        // Space-separated value form and --obs-out.
+        let (o, pos) = parse(&["--obs-out", "/tmp/tk-obs-runner-test", "--trace"]).unwrap();
+        assert!(pos.is_empty());
+        assert!(o.trace && !o.profile);
+        let cfg = tk_sim::obs_config();
+        assert_eq!(cfg.trace, Some(tk_sim::TraceCategories::all()));
+        assert_eq!(
+            cfg.out_dir,
+            Some(std::path::PathBuf::from("/tmp/tk-obs-runner-test"))
+        );
+
+        // Malformed values surface as parse errors, not panics.
+        assert!(parse(&["--trace=bogus"]).is_err());
+        assert!(parse(&["--trace-sample=0"]).is_err());
+        assert!(parse(&["--obs-out"]).is_err());
+
+        tk_sim::set_obs_config(prev);
     }
 
     #[test]

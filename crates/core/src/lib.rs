@@ -105,3 +105,6 @@ pub use victim::{
     AdaptiveDeadTimeFilter, CollinsFilter, DeadTimeFilter, EvictionInfo, NoFilter,
     ReloadIntervalFilter, VictimCache, VictimFilter, VictimStats,
 };
+
+/// The crate version, for run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

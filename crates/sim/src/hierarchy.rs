@@ -30,6 +30,9 @@ use crate::bus::Bus;
 use crate::cache::SetAssocCache;
 use crate::config::{PrefetchMode, SystemConfig, VictimMode};
 use crate::mshr::MshrFile;
+use crate::obs::{
+    self, ProfStage, ProfileReport, Profiler, TraceCategories, TraceObserver, TraceRecord,
+};
 use crate::oracle::{FunctionalOracle, LockstepChecker, SimLevel, SimObservation};
 use crate::pipeline::{
     GenObserver, MetricsObserver, Observers, OracleTap, PendingPf, PipelineEvent,
@@ -161,7 +164,7 @@ impl Snapshot for HierarchyStats {
 /// Timing state (caches, buses, MSHRs, the prefetch queue) lives here;
 /// everything that merely *watches* the access stream — generation
 /// tracking, metrics, predictors, victim-cache admission, the
-/// lockstep-oracle tap — lives in the [`Observers`] plane and is driven
+/// lockstep-oracle tap — lives in the `Observers` plane and is driven
 /// by the pipeline stages in [`crate::pipeline`].
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -197,6 +200,9 @@ pub struct MemorySystem {
     /// Optional pipeline event trace (see
     /// [`record_events`](MemorySystem::record_events)).
     pub(crate) event_log: Option<Vec<PipelineEvent>>,
+    /// Optional self-profiler (`--profile`); `None` keeps the disabled
+    /// path to one pointer-sized branch per scope.
+    pub(crate) prof: Option<Box<Profiler>>,
 }
 
 impl MemorySystem {
@@ -264,6 +270,7 @@ impl MemorySystem {
             },
             victim: VictimObserver { unit: victim },
             oracle: OracleTap::default(),
+            trace: obs::trace_from_global(m.l1d),
         };
         MemorySystem {
             ticker,
@@ -289,6 +296,7 @@ impl MemorySystem {
             stats: HierarchyStats::default(),
             checker: None,
             event_log: None,
+            prof: obs::profiler_from_global(),
             cfg,
         }
     }
@@ -342,6 +350,67 @@ impl MemorySystem {
     #[doc(hidden)]
     pub fn tick_scratch_capacity(&self) -> usize {
         self.tick_scratch.capacity()
+    }
+
+    /// Bytes of trace ring-buffer capacity held by this system: 0 when
+    /// tracing is disabled. With observability off this must stay 0 for
+    /// the life of the system — `core_bench` asserts it, the same way it
+    /// asserts [`tick_scratch_capacity`](Self::tick_scratch_capacity)
+    /// proves the tick hot path allocation-free.
+    #[doc(hidden)]
+    pub fn obs_trace_capacity(&self) -> usize {
+        self.obs.trace.as_deref().map_or(0, |t| {
+            t.ring_capacity() * std::mem::size_of::<TraceRecord>()
+        })
+    }
+
+    /// Installs an in-memory trace observer directly on this system,
+    /// bypassing the process-global configuration — for hermetic tests
+    /// (the golden `tk_obs_dump` run) that must not race with other
+    /// tests over the global flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has already performed accesses.
+    pub fn install_trace(&mut self, cats: TraceCategories, sample: u64) {
+        assert_eq!(
+            self.stats.l1_accesses, 0,
+            "trace observer must be installed before any access"
+        );
+        let geom = self.cfg.machine.l1d;
+        self.obs.trace = Some(Box::new(TraceObserver::memory(cats, sample, geom)));
+    }
+
+    /// Installs a profiler directly on this system, bypassing the
+    /// process-global configuration (see [`install_trace`](Self::install_trace)).
+    pub fn install_profiler(&mut self) {
+        self.prof = Some(Box::new(Profiler::new()));
+    }
+
+    /// The records captured by an in-memory trace observer; `None` when
+    /// tracing is disabled or streaming to files.
+    pub fn trace_records(&mut self) -> Option<&[TraceRecord]> {
+        self.obs.trace.as_deref_mut().map(|t| t.records())
+    }
+
+    /// The profiling report accumulated so far, when profiling is on.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.prof.as_deref().map(|p| p.report())
+    }
+
+    /// Starts a profiling scope: the timestamp when profiling is on,
+    /// nothing (and no clock read) otherwise.
+    #[inline]
+    pub(crate) fn prof_t0(&self) -> Option<std::time::Instant> {
+        self.prof.as_deref().map(|_| std::time::Instant::now())
+    }
+
+    /// Closes a profiling scope opened by [`prof_t0`](Self::prof_t0).
+    #[inline]
+    pub(crate) fn prof_rec(&mut self, stage: ProfStage, t0: Option<std::time::Instant>) {
+        if let (Some(p), Some(t0)) = (self.prof.as_deref_mut(), t0) {
+            p.record(stage, t0.elapsed());
+        }
     }
 
     /// Timekeeping metric distributions and predictor scores.
@@ -414,6 +483,13 @@ impl MemorySystem {
     /// (write-back, write-allocate); the caller decides whether to stall
     /// on the result.
     pub fn access(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
+        let t0 = self.prof_t0();
+        let out = self.access_impl(mref, is_store, now);
+        self.prof_rec(ProfStage::Access, t0);
+        out
+    }
+
+    fn access_impl(&mut self, mref: &MemRef, is_store: bool, now: Cycle) -> AccessOutcome {
         if self.checker.is_none() {
             return self.stage_lookup(mref, is_store, now);
         }
@@ -442,8 +518,12 @@ impl MemorySystem {
         out
     }
 
-    /// Flushes all open generations into the metrics (end of simulation).
+    /// Flushes all open generations into the metrics (end of simulation),
+    /// then finalizes the observability plane: the trace sinks are
+    /// flushed, and when profiling to a directory the profile report is
+    /// written out (both idempotent across repeated calls).
     pub fn finish(&mut self, now: Cycle) {
+        let t0 = self.prof_t0();
         if self.cfg.decay_interval.is_some() {
             for frame in 0..self.obs.predictors.addr_pred.len() {
                 self.bank_decay_off_time(frame, now);
@@ -453,6 +533,38 @@ impl MemorySystem {
             if self.cfg.collect_metrics {
                 self.obs.metrics.collector.on_generation(&rec);
             }
+        }
+        self.prof_rec(ProfStage::Finish, t0);
+        self.finish_obs();
+    }
+
+    /// Flushes trace sinks and emits the profile report (first call only).
+    fn finish_obs(&mut self) {
+        if let Some(t) = self.obs.trace.as_deref_mut() {
+            t.finish();
+        }
+        let Some(p) = self.prof.as_deref_mut() else {
+            return;
+        };
+        if !p.mark_finished() {
+            return;
+        }
+        let report = p.report();
+        match obs::out_dir() {
+            Some(dir) => {
+                let path = dir.join(format!("profile-{:04}.json", obs::next_seq()));
+                let write = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(&path, report.to_json().render()));
+                match write {
+                    Ok(()) => eprintln!("profile report written to {}", path.display()),
+                    Err(e) => eprintln!(
+                        "warning: cannot write profile report to {}: {e}\n{}",
+                        path.display(),
+                        report.to_json().render()
+                    ),
+                }
+            }
+            None => eprintln!("profile report:\n{}", report.to_json().render()),
         }
     }
 }
@@ -688,6 +800,63 @@ mod tests {
         assert_eq!(sys.metrics().generations(), 0);
         sys.finish(Cycle::new(1000));
         assert_eq!(sys.metrics().generations(), 2);
+    }
+
+    #[test]
+    fn trace_observer_is_invisible_to_the_simulation() {
+        use crate::obs::{TraceCategories, TraceKind};
+        // Identical access sequences with and without the sixth
+        // observer must produce bit-identical stats.
+        let mut plain = base_system();
+        let mut traced = base_system();
+        traced.install_trace(TraceCategories::all(), 1);
+        assert!(traced.obs_trace_capacity() > 0);
+        assert_eq!(plain.obs_trace_capacity(), 0, "disabled path holds no ring");
+        for i in 0..200u64 {
+            let a = mref((i % 32) * 0x40 + (i / 32) * 32 * 1024);
+            let at = Cycle::new(i * 10);
+            assert_eq!(
+                plain.access(&a, false, at),
+                traced.access(&a, false, at),
+                "traced access {i} diverged"
+            );
+        }
+        plain.finish(Cycle::new(10_000));
+        traced.finish(Cycle::new(10_000));
+        assert_eq!(plain.stats(), traced.stats());
+        let recs = traced.trace_records().expect("memory sink installed");
+        assert!(!recs.is_empty());
+        // Every demand access produced a Lookup; hits + misses = accesses.
+        let count = |k: TraceKind| recs.iter().filter(|r| r.kind == k).count() as u64;
+        assert_eq!(count(TraceKind::Lookup), 200);
+        assert_eq!(count(TraceKind::Hit) + count(TraceKind::Miss), 200);
+        assert_eq!(count(TraceKind::Fill), count(TraceKind::GenOpen));
+        assert!(plain.trace_records().is_none());
+    }
+
+    #[test]
+    fn profiler_sees_the_access_and_advance_stages() {
+        let mut sys = base_system();
+        sys.install_profiler();
+        for i in 0..50u64 {
+            sys.advance(Cycle::new(i * 100));
+            sys.access(&mref(i * 0x40), false, Cycle::new(i * 100));
+        }
+        sys.finish(Cycle::new(100_000));
+        let rep = sys.profile_report().expect("profiler installed");
+        let calls = |name: &str| {
+            rep.stages
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.calls)
+                .unwrap_or(0)
+        };
+        assert_eq!(calls("access"), 50);
+        assert_eq!(calls("obs_lookup"), 50);
+        assert_eq!(calls("advance"), 50);
+        assert_eq!(calls("finish"), 1);
+        assert!(rep.hops.total() > 0, "forward jumps recorded as hops");
+        assert!(rep.events >= 100, "lookups + hits/misses/fills dispatched");
     }
 
     #[test]

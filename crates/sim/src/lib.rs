@@ -45,6 +45,7 @@ pub mod config;
 pub mod core;
 pub mod hierarchy;
 pub mod mshr;
+pub mod obs;
 pub mod oracle;
 pub mod pipeline;
 pub mod system;
@@ -55,6 +56,14 @@ pub use config::{
 };
 pub use core::{CoreStats, OooCore};
 pub use hierarchy::{AccessOutcome, HierarchyStats, MemorySystem};
+pub use obs::{
+    obs_config, set_obs_config, set_out_dir, set_profile, set_trace, set_trace_sample,
+    trace_enabled, ObsConfig, ProfileReport, TraceCategories, TraceCategory, TraceKind,
+    TraceRecord,
+};
 pub use oracle::{lockstep_check_enabled, set_lockstep_check, FunctionalOracle, LockstepChecker};
 pub use system::{run_workload, run_workload_checked, RunResult, SimSystem};
 pub use trace::{Instr, MemRef, Workload};
+
+/// The crate version, for run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -22,7 +22,7 @@
 //! metrics → predictors → victim admission → oracle tap. Data flows
 //! between them through a per-event [`Reactions`] scratchpad: the
 //! generation plane publishes the closed
-//! [`GenerationRecord`](timekeeping::GenerationRecord), the victim
+//! [`GenerationRecord`], the victim
 //! filter reads it to make its admission call, and the oracle tap
 //! records the decision for the lockstep checker. The order is part of
 //! the behavioral contract — reordering observers changes which state a
@@ -45,6 +45,7 @@ use timekeeping::{Histogram, L2IntervalMonitor, MetricsCollector, Pc};
 use crate::cache::ProbeResult;
 use crate::config::{L1Mode, MachineConfig};
 use crate::hierarchy::{AccessOutcome, MemorySystem};
+use crate::obs::{ProfStage, TraceKind, TraceObserver};
 use crate::oracle::SimLevel;
 use crate::trace::MemRef;
 
@@ -493,7 +494,11 @@ impl MemObserver for OracleTap {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-/// Dispatches one event to every observer, in the canonical order.
+/// Dispatches one event to every observer, in the canonical order. The
+/// trace observer, when installed, runs *last*: it sees the fully
+/// populated [`Reactions`] (e.g. the closed generation record) and
+/// writes nothing back, so its presence cannot change simulation
+/// results.
 macro_rules! dispatch_all {
     ($obs:expr, $method:ident, $ev:expr, $rx:expr) => {{
         MemObserver::$method(&mut $obs.gens, $ev, $rx);
@@ -501,6 +506,9 @@ macro_rules! dispatch_all {
         MemObserver::$method(&mut $obs.predictors, $ev, $rx);
         MemObserver::$method(&mut $obs.victim, $ev, $rx);
         MemObserver::$method(&mut $obs.oracle, $ev, $rx);
+        if let Some(t) = $obs.trace.as_deref_mut() {
+            MemObserver::$method(t, $ev, $rx);
+        }
     }};
 }
 
@@ -512,6 +520,9 @@ pub(crate) struct Observers {
     pub(crate) predictors: PredictorObserver,
     pub(crate) victim: VictimObserver,
     pub(crate) oracle: OracleTap,
+    /// The optional sixth observer: event tracing (`--trace`). Boxed so
+    /// the disabled path carries one pointer-sized `None`.
+    pub(crate) trace: Option<Box<TraceObserver>>,
 }
 
 impl Observers {
@@ -536,6 +547,9 @@ impl Observers {
         self.predictors.on_service(level);
         self.victim.on_service(level);
         self.oracle.on_service(level);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.on_service(level);
+        }
     }
 }
 
@@ -605,13 +619,17 @@ impl MemorySystem {
 
     fn emit_lookup(&mut self, ev: &LookupEvent) -> Reactions {
         let mut rx = Reactions::default();
+        let t0 = self.prof_t0();
         self.obs.lookup(ev, &mut rx);
+        self.prof_rec(ProfStage::ObsLookup, t0);
         rx
     }
 
     fn emit_hit(&mut self, ev: &HitEvent) -> Reactions {
         let mut rx = Reactions::default();
+        let t0 = self.prof_t0();
         self.obs.hit(ev, &mut rx);
+        self.prof_rec(ProfStage::ObsHit, t0);
         if let Some(log) = &mut self.event_log {
             log.push(PipelineEvent::Hit {
                 line: ev.line,
@@ -623,7 +641,9 @@ impl MemorySystem {
 
     fn emit_miss(&mut self, ev: &MissEvent) -> Reactions {
         let mut rx = Reactions::default();
+        let t0 = self.prof_t0();
         self.obs.miss(ev, &mut rx);
+        self.prof_rec(ProfStage::ObsMiss, t0);
         if let Some(log) = &mut self.event_log {
             log.push(PipelineEvent::Miss {
                 line: ev.line,
@@ -635,7 +655,9 @@ impl MemorySystem {
 
     fn emit_fill(&mut self, ev: &FillEvent) -> Reactions {
         let mut rx = Reactions::default();
+        let t0 = self.prof_t0();
         self.obs.fill(ev, &mut rx);
+        self.prof_rec(ProfStage::ObsFill, t0);
         if let Some(log) = &mut self.event_log {
             log.push(PipelineEvent::Fill {
                 line: ev.line,
@@ -648,7 +670,9 @@ impl MemorySystem {
 
     fn emit_evict(&mut self, ev: &EvictEvent) -> Reactions {
         let mut rx = Reactions::default();
+        let t0 = self.prof_t0();
         self.obs.evict(ev, &mut rx);
+        self.prof_rec(ProfStage::ObsEvict, t0);
         if rx.generation.is_some() {
             if let Some(log) = &mut self.event_log {
                 log.push(PipelineEvent::Evict {
@@ -663,6 +687,15 @@ impl MemorySystem {
 
     fn emit_service(&mut self, level: SimLevel) {
         self.obs.service(level);
+    }
+
+    /// Records one prefetch-lifecycle trace record (fire / arrival /
+    /// discard) when tracing is installed; free otherwise.
+    #[inline]
+    fn trace_pf(&mut self, kind: TraceKind, line: LineAddr, at: Cycle, aux: u64) {
+        if let Some(t) = self.obs.trace.as_deref_mut() {
+            t.push(kind, at, line, aux);
+        }
     }
 
     /// Enqueues the prefetch targets the observers produced, in order.
@@ -1153,11 +1186,16 @@ impl MemorySystem {
     /// (via [`next_event`](Self::next_event)), so one jump is
     /// bit-identical to calling `advance` every cycle.
     pub fn advance(&mut self, now: Cycle) {
+        let t0 = self.prof_t0();
         if now <= self.last_advance {
             // Re-advancing within the present: the per-cycle body is
             // idempotent at a fixed timestamp.
             self.advance_cycle(now);
+            self.prof_rec(ProfStage::Advance, t0);
             return;
+        }
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.record_hop(now.since(self.last_advance));
         }
         while let Some(e) = self.next_event(self.last_advance) {
             if e >= now {
@@ -1166,6 +1204,7 @@ impl MemorySystem {
             self.advance_cycle(e);
         }
         self.advance_cycle(now);
+        self.prof_rec(ProfStage::Advance, t0);
     }
 
     /// Runs one cycle's worth of background machinery at timestamp `now`:
@@ -1348,6 +1387,7 @@ impl MemorySystem {
                     dp.state = PfState::Discarded;
                 }
             }
+            self.trace_pf(TraceKind::PfDiscard, dropped.line, now, 0);
         }
     }
 
@@ -1409,6 +1449,7 @@ impl MemorySystem {
                 deadline,
             });
             self.stats.pf_issued += 1;
+            self.trace_pf(TraceKind::PfFire, req.line, now, arrive.get());
         }
     }
 
@@ -1459,6 +1500,7 @@ impl MemorySystem {
                 let dead_point = 2 * prev_lt;
                 if at.since(start) < dead_point {
                     self.stats.pf_dropped_live += 1;
+                    self.trace_pf(TraceKind::PfDiscard, line, at, 1);
                     if self.pending_pf[set0]
                         .map(|p| p.line == line)
                         .unwrap_or(false)
@@ -1492,6 +1534,7 @@ impl MemorySystem {
                 self.checker = Some(chk);
             }
             self.stats.pf_fills += 1;
+            self.trace_pf(TraceKind::PfArrival, line, at, frame as u64);
             // A prefetch fill is a generation start, and trains the
             // prefetcher exactly like a demand fill (enabling chained
             // prefetches), but carries no referencing PC.

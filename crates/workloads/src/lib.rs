@@ -36,4 +36,7 @@ pub use multiprog::Multiprogrammed;
 pub use profile::{Burstiness, SwPrefetchPolicy, SyntheticWorkload};
 pub use rng::Rng;
 pub use spec::{BenchGroup, SpecBenchmark};
-pub use tracefile::{ParseTraceError, TraceFileWorkload};
+pub use tracefile::{render_instr, ParseTraceError, TraceFileWorkload};
+
+/// The crate version, for run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

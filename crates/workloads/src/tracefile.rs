@@ -125,15 +125,22 @@ impl TraceFileWorkload {
     }
 
     fn parse_line(line: &str, lineno: usize) -> Result<Instr, ParseTraceError> {
-        let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("nonempty line");
-        if kind.eq_ignore_ascii_case("O") {
-            return Ok(Instr::Op);
-        }
         let err = |message: String| ParseTraceError {
             line: lineno,
             message,
         };
+        let mut parts = line.split_whitespace();
+        // Callers pass trimmed, non-empty lines, but a structured error
+        // here keeps the parser total over arbitrary input.
+        let Some(kind) = parts.next() else {
+            return Err(err("empty event line".into()));
+        };
+        if kind.eq_ignore_ascii_case("O") {
+            if let Some(extra) = parts.next() {
+                return Err(err(format!("trailing token `{extra}` after O event")));
+            }
+            return Ok(Instr::Op);
+        }
         let addr = parts
             .next()
             .ok_or_else(|| err("missing address".into()))
@@ -148,6 +155,9 @@ impl TraceFileWorkload {
                 u64::from_str_radix(t.trim_start_matches("0x"), 16)
                     .map_err(|e| err(format!("bad pc `{t}`: {e}")))
             })?;
+        if let Some(extra) = parts.next() {
+            return Err(err(format!("trailing token `{extra}` after pc")));
+        }
         let mref = MemRef::new(Addr::new(addr), Pc::new(pc));
         match kind.to_ascii_uppercase().as_str() {
             "L" => Ok(Instr::Load(mref)),
@@ -163,9 +173,39 @@ impl TraceFileWorkload {
         self.instrs.len()
     }
 
+    /// Renders the trace back into the text format, one event per line.
+    ///
+    /// `render` and [`from_reader`](Self::from_reader) are exact inverses:
+    /// parsing the rendered text reproduces the instruction sequence
+    /// identically (the round-trip property test in
+    /// `tests/trace_ingest.rs` pins this for every [`Instr`] variant).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for i in &self.instrs {
+            out.push_str(&render_instr(i));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Always false: empty traces are rejected at parse time.
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
+    }
+}
+
+/// Renders one instruction in the trace-file text format (no newline).
+///
+/// The inverse of the line parser: `O` for non-memory ops, `<kind> <hex
+/// addr> <hex pc>` for memory events.
+pub fn render_instr(instr: &Instr) -> String {
+    let line = |kind: char, m: &MemRef| format!("{kind} {:x} {:x}", m.addr.get(), m.pc.get());
+    match instr {
+        Instr::Op => "O".to_owned(),
+        Instr::Load(m) => line('L', m),
+        Instr::ChainedLoad(m) => line('C', m),
+        Instr::Store(m) => line('S', m),
+        Instr::SwPrefetch(m) => line('P', m),
     }
 }
 

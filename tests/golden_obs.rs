@@ -1,0 +1,91 @@
+//! Golden regression for the observability plane's trace format.
+//!
+//! Runs a pinned 10k-instruction simulation with an in-memory trace
+//! observer and pins the `tk_obs_dump`-style filtered summary against
+//! `tests/golden/obs_dump.json`, bit-exactly. Any change to the record
+//! taxonomy, the category filter, the sampling rule or the summary
+//! shape — i.e. to the trace *format* — fails here and must be
+//! re-blessed deliberately:
+//!
+//! ```text
+//! TK_BLESS=1 cargo test --test golden_obs
+//! ```
+//!
+//! The trace is installed directly on the [`MemorySystem`] (not via the
+//! process-global `--trace` flags), so this test is hermetic and cannot
+//! race with other tests over the global observability configuration.
+
+use timekeeping::CorrelationConfig;
+use tk_sim::obs::{summarize, TraceCategories, TraceKind};
+use tk_sim::{MemorySystem, OooCore, PrefetchMode, SystemConfig};
+use tk_workloads::SpecBenchmark;
+
+const INSTRUCTIONS: u64 = 10_000;
+
+fn blessing() -> bool {
+    std::env::var("TK_BLESS").map(|v| v == "1").unwrap_or(false)
+}
+
+fn golden_path() -> std::path::PathBuf {
+    tk_bench::golden::golden_dir().join("obs_dump.json")
+}
+
+/// The pinned run: gzip under the paper's timekeeping prefetcher, so the
+/// trace exercises the prefetch lifecycle records alongside the demand
+/// path.
+fn pinned_trace_summary() -> String {
+    let cfg = SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB));
+    let mut w = SpecBenchmark::Gzip.build(1);
+    let mut core = OooCore::new(&cfg);
+    let mut mem = MemorySystem::new(cfg);
+    mem.install_trace(TraceCategories::all(), 1);
+    let stats = core.run(&mut w, &mut mem, INSTRUCTIONS);
+    assert_eq!(stats.instructions, INSTRUCTIONS);
+    let records = mem.trace_records().expect("memory trace installed");
+    // The dump filter under pin: everything except the high-volume
+    // lookup/hit stream — the same selection a production `--trace=CATS`
+    // run would keep.
+    let filter = TraceCategories::parse("miss,fill,evict,gen,pf").expect("valid filter");
+    summarize(records, filter).render()
+}
+
+#[test]
+fn golden_obs_dump_summary_matches() {
+    let doc = pinned_trace_summary();
+    let path = golden_path();
+    if blessing() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        std::fs::write(&path, &doc).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — generate it with TK_BLESS=1 cargo test --test golden_obs",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        doc,
+        "trace summary diverged from the blessed format; if the change is \
+         intentional, re-bless with TK_BLESS=1 cargo test --test golden_obs\n{}",
+        tk_bench::golden::first_diff(&expected, &doc)
+    );
+}
+
+/// The pinned run must actually exercise the taxonomy the golden file
+/// pins: demand misses, fills, generation boundaries.
+#[test]
+fn pinned_run_covers_the_taxonomy() {
+    let doc = pinned_trace_summary();
+    let json = timekeeping::Json::parse(&doc).expect("summary is valid JSON");
+    assert!(json.u64_field("kept_records").unwrap() > 0);
+    let by_kind = json.get("by_kind").unwrap();
+    for kind in [TraceKind::Miss, TraceKind::Fill, TraceKind::GenOpen] {
+        assert!(
+            by_kind.u64_field(kind.name()).unwrap() > 0,
+            "pinned run produced no {} records",
+            kind.name()
+        );
+    }
+}
