@@ -16,6 +16,7 @@
 //!
 //! ```text
 //! cargo run --release -p tk-bench --bin core_bench [-- [--quick] [--instructions N] [--json]
+//!                                                      [--dram=fixed|banked[:preset]]
 //!                                                      [--trace[=CATS]] [--profile] [--obs-out DIR]]
 //! ```
 
@@ -140,6 +141,19 @@ fn main() {
                     .expect("--instructions takes an unsigned integer");
             }
             "--json" => emit_json = true,
+            "--dram" => {
+                // The shared memory-backend flag: set the process-wide
+                // default so every SystemConfig::base()/with_* below
+                // carries the chosen backend.
+                let v = inline
+                    .map(str::to_owned)
+                    .or_else(|| args.next())
+                    .expect("--dram takes fixed|banked[:preset]");
+                match tk_sim::parse_backend_arg(&v) {
+                    Ok(backend) => tk_sim::set_default_mem_backend(backend),
+                    Err(e) => panic!("{e}"),
+                }
+            }
             "--workload" => {
                 let v = inline.map(str::to_owned).or_else(|| args.next());
                 driver = match v.as_deref() {

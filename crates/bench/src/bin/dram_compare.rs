@@ -1,0 +1,5 @@
+//! Re-runs the paper's victim-filter and prefetcher comparisons under
+//! the banked DRAM backends (`--dram=banked[:preset]`) next to the
+//! constant-latency model the paper assumed. Optional first argument:
+//! the instruction budget per simulation run.
+tk_bench::figure_main!(dram_compare);

@@ -49,6 +49,7 @@ fn main() {
         ("fig20", Box::new(figures::fig20)),
         ("fig21", Box::new(figures::fig21)),
         ("fig22", Box::new(figures::fig22)),
+        ("dram_compare", Box::new(figures::dram_compare)),
     ];
 
     engine::record_jobs(true);

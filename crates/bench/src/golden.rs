@@ -62,6 +62,7 @@ pub fn figure_manifest() -> Vec<(&'static str, FigureFn)> {
         ("fig20", figures::fig20),
         ("fig21", figures::fig21),
         ("fig22", figures::fig22),
+        ("dram_compare", figures::dram_compare),
     ]
 }
 
@@ -139,7 +140,10 @@ mod tests {
         let names: Vec<&str> = figure_manifest().iter().map(|(n, _)| *n).collect();
         for (i, n) in names.iter().enumerate() {
             assert!(!names[i + 1..].contains(n), "duplicate golden name {n}");
-            assert!(n.chars().all(|c| c.is_ascii_alphanumeric()), "odd name {n}");
+            assert!(
+                n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "odd name {n}"
+            );
         }
     }
 

@@ -44,6 +44,7 @@ pub fn manifest_json(
         ("check", Json::Bool(opts.check)),
         ("trace", Json::Bool(opts.trace)),
         ("profile", Json::Bool(opts.profile)),
+        ("dram", Json::Str(opts.dram.describe())),
         ("wall_ms", Json::U64(wall.as_millis() as u64)),
         (
             "crate_versions",
@@ -127,7 +128,10 @@ mod tests {
 
     #[test]
     fn manifest_pins_the_run() {
-        let opts = FigureOpts::quick();
+        let mut opts = FigureOpts::quick();
+        // Pin the backend rather than inheriting the process global,
+        // which a parallel CLI test may be toggling.
+        opts.dram = tk_sim::MemBackendConfig::Fixed;
         let jobs = vec![
             Job::new(SpecBenchmark::Gzip, SystemConfig::base(), 1, 10_000),
             Job::new(SpecBenchmark::Mcf, SystemConfig::base(), 1, 10_000),
@@ -142,6 +146,7 @@ mod tests {
         );
         assert_eq!(j.u64_field("wall_ms").unwrap(), 250);
         assert_eq!(j.u64_field("simulations").unwrap(), 3);
+        assert_eq!(j.get("dram").unwrap().as_str().unwrap(), "fixed");
         let fps = j.get("config_fingerprints").unwrap().as_arr().unwrap();
         assert_eq!(fps.len(), 2, "duplicate job tuples dedupe");
         assert!(fps[0].as_str().unwrap().contains("bench="));

@@ -54,6 +54,11 @@ pub struct FigureOpts {
     /// Whether `--profile` was given: memory systems time their own
     /// pipeline stages and report the breakdown.
     pub profile: bool,
+    /// The `--dram` memory backend. Like `--check`, the parser also sets
+    /// the process-wide default (`tk_sim::set_default_mem_backend`) so
+    /// every `SystemConfig::builder()` in every figure picks it up; this
+    /// field records the choice for manifests.
+    pub dram: tk_sim::MemBackendConfig,
 }
 
 impl FigureOpts {
@@ -77,6 +82,7 @@ impl FigureOpts {
             check: false,
             trace: false,
             profile: false,
+            dram: tk_sim::default_mem_backend(),
         }
     }
 
@@ -193,6 +199,12 @@ impl FigureOpts {
                     opts.check = true;
                     tk_sim::set_lockstep_check(true);
                 }
+                "--dram" => {
+                    let v = value_of(flag, inline, &mut args)?;
+                    let backend = tk_sim::parse_backend_arg(&v)?;
+                    opts.dram = backend;
+                    tk_sim::set_default_mem_backend(backend);
+                }
                 "--help" | "-h" => {
                     println!("{}", usage());
                     std::process::exit(0);
@@ -247,6 +259,9 @@ fn usage() -> String {
          \x20 --no-cache         disable the disk cache\n\
          \x20 --check            self-verify: run every simulation in\n\
          \x20                    lockstep with the functional oracle\n\
+         \x20 --dram=BACKEND     memory model: fixed (default, the paper's\n\
+         \x20                    constant latency) or banked[:ddr2|:ddr4]\n\
+         \x20                    (row buffers, banks, channel buses)\n\
          \x20 --trace[=CATS]     stream typed memory events (binary + JSONL);\n\
          \x20                    CATS filters categories, e.g. miss,fill,pf\n\
          \x20 --trace-sample N   keep 1-in-N L1 sets in the trace\n\
@@ -466,6 +481,40 @@ mod tests {
         assert!(parse(&["--obs-out"]).is_err());
 
         tk_sim::set_obs_config(prev);
+    }
+
+    #[test]
+    fn dram_flag_sets_the_process_default_backend() {
+        // Mutates the process-global default: save and restore, like
+        // cache_flag_path_handling does for the disk cache.
+        let prev = tk_sim::default_mem_backend();
+
+        let (o, pos) = parse(&["--dram=banked"]).unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(
+            o.dram,
+            tk_sim::MemBackendConfig::Banked(tk_sim::BankedDramConfig::DDR2)
+        );
+        assert_eq!(tk_sim::default_mem_backend(), o.dram);
+        // Configs built after the flag carry the backend.
+        assert_eq!(SystemConfig::base().memory, o.dram);
+
+        // Space-separated value form, explicit presets, and fixed.
+        let (o, _) = parse(&["--dram", "banked:ddr4"]).unwrap();
+        assert_eq!(
+            o.dram,
+            tk_sim::MemBackendConfig::Banked(tk_sim::BankedDramConfig::DDR4)
+        );
+        let (o, _) = parse(&["--dram=fixed"]).unwrap();
+        assert_eq!(o.dram, tk_sim::MemBackendConfig::Fixed);
+
+        // Malformed values surface as parse errors naming the value.
+        assert!(parse(&["--dram=warp-core"])
+            .unwrap_err()
+            .contains("warp-core"));
+        assert!(parse(&["--dram"]).is_err());
+
+        tk_sim::set_default_mem_backend(prev);
     }
 
     #[test]

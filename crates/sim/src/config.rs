@@ -2,6 +2,8 @@
 
 use timekeeping::{CacheGeometry, CorrelationConfig, DbcpConfig, MarkovConfig, StrideConfig};
 
+use crate::dram::{DramConfigError, MemBackendConfig};
+
 /// Processor-core and memory-hierarchy parameters.
 ///
 /// [`MachineConfig::paper_default`] reproduces Table 1: a 2 GHz 8-issue
@@ -26,6 +28,13 @@ pub struct MachineConfig {
     /// L2 access latency in cycles (12).
     pub l2_latency: u64,
     /// Main-memory access latency in cycles (70).
+    ///
+    /// Deprecated alias: this constant is consumed only by the
+    /// [`MemBackendConfig::Fixed`] backend (the default).
+    /// Banked-DRAM runs derive latency from
+    /// `SystemConfig::memory` instead and ignore this field (except in
+    /// the nominal prefetch-gate limits, which stay backend-independent
+    /// by design).
     pub mem_latency: u64,
     /// L1/L2 bus occupancy per block transfer, in core cycles.
     /// 32-byte-wide at the 2 GHz core clock moving a 32 B L1 block: 1.
@@ -177,6 +186,11 @@ pub struct SystemConfig {
     /// far in the future) are issued only on a fully idle bus, smoothing
     /// bus contention; urgent ones use the normal demand-priority gate.
     pub slack_prefetch: bool,
+    /// Main-memory backend. The default, [`MemBackendConfig::Fixed`],
+    /// reads the deprecated `machine.mem_latency` alias and reproduces
+    /// the paper's constant-latency memory bit-exactly;
+    /// [`MemBackendConfig::Banked`] swaps in the banked DRAM model.
+    pub memory: MemBackendConfig,
     /// Reference mode: advance the core clock one cycle at a time instead
     /// of hopping over provably dead cycles. Results are bit-identical
     /// either way (the differential suite in `tests/step_equivalence.rs`
@@ -204,10 +218,16 @@ pub enum ConfigError {
     /// A cache-decay interval of zero would switch every line off on the
     /// tick after its fill.
     ZeroDecayInterval,
+    /// The banked-DRAM geometry or timing is structurally invalid (see
+    /// [`DramConfigError`] for the exact rule violated).
+    InvalidDram(DramConfigError),
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let ConfigError::InvalidDram(e) = self {
+            return e.fmt(f);
+        }
         let s = match self {
             ConfigError::PredictOnlyWithoutPrefetcher => {
                 "predict_only requires a prefetcher (PrefetchMode::None has no predictor)"
@@ -221,6 +241,7 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroVictimThreshold => "victim-cache admission threshold must be nonzero",
             ConfigError::ZeroDecayInterval => "decay interval must be nonzero",
+            ConfigError::InvalidDram(_) => unreachable!("delegated to DramConfigError above"),
         };
         f.write_str(s)
     }
@@ -314,6 +335,14 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the main-memory backend (default: the process-wide
+    /// `--dram` choice, which itself defaults to
+    /// [`MemBackendConfig::Fixed`]).
+    pub fn memory(mut self, memory: MemBackendConfig) -> Self {
+        self.cfg.memory = memory;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -344,6 +373,9 @@ impl SystemConfigBuilder {
         if cfg.decay_interval == Some(0) {
             return Err(ConfigError::ZeroDecayInterval);
         }
+        if let MemBackendConfig::Banked(b) = cfg.memory {
+            crate::dram::validate(&b).map_err(ConfigError::InvalidDram)?;
+        }
         Ok(cfg)
     }
 }
@@ -364,6 +396,9 @@ impl SystemConfig {
                 decay_interval: None,
                 slack_prefetch: false,
                 step_every_cycle: false,
+                // One orthogonal `--dram` flag flows to every config
+                // construction site through this process-wide default.
+                memory: crate::dram::default_mem_backend(),
             },
         }
     }
@@ -484,6 +519,11 @@ impl SystemConfig {
                 .map_or("none".to_owned(), |d| d.to_string()),
             self.slack_prefetch,
         ));
+        // Fixed-latency memory contributes nothing: `mem_latency` is
+        // already in the machine fragment, and an empty suffix keeps every
+        // pre-existing memo/disk/golden key byte-identical. Banked configs
+        // get a full fingerprint so they can never alias a fixed entry.
+        key.push_str(&self.memory.cache_key_suffix());
         // The hopping clock is bit-identical to per-cycle stepping, so the
         // default mode adds nothing to the key (cached results are valid
         // across the two); the reference mode is tagged only so its runs
@@ -535,6 +575,60 @@ mod tests {
         // untouched; only the reference mode is tagged.
         assert!(!hop.cache_key().contains("step_every_cycle"));
         assert!(step.cache_key().ends_with(" step_every_cycle=true"));
+    }
+
+    #[test]
+    fn default_memory_backend_leaves_cache_key_untouched() {
+        let base = SystemConfig::base();
+        assert_eq!(base.memory, MemBackendConfig::Fixed);
+        assert!(!base.cache_key().contains("dram"));
+    }
+
+    #[test]
+    fn banked_backend_fingerprints_the_cache_key() {
+        let banked = SystemConfig::builder()
+            .memory(MemBackendConfig::Banked(
+                crate::dram::BankedDramConfig::DDR2,
+            ))
+            .build()
+            .unwrap();
+        let key = banked.cache_key();
+        assert!(key.contains(" dram=banked{ch=1,ranks=2,banks=8,"), "{key}");
+        // The banked tag slots in before the step-reference tag, which
+        // stays the final suffix.
+        let step = SystemConfig::builder()
+            .memory(MemBackendConfig::Banked(
+                crate::dram::BankedDramConfig::DDR2,
+            ))
+            .step_every_cycle()
+            .build()
+            .unwrap();
+        assert!(step.cache_key().contains(" dram=banked{"));
+        assert!(step.cache_key().ends_with(" step_every_cycle=true"));
+    }
+
+    #[test]
+    fn invalid_dram_geometry_is_rejected_at_build() {
+        let mut bad = crate::dram::BankedDramConfig::DDR2;
+        bad.banks = 5;
+        let err = SystemConfig::builder()
+            .memory(MemBackendConfig::Banked(bad))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidDram(DramConfigError::NotPowerOfTwo("banks"))
+        );
+        assert!(err.to_string().contains("power of two"));
+        let mut bad = crate::dram::BankedDramConfig::DDR4;
+        bad.burst = 0;
+        assert_eq!(
+            SystemConfig::builder()
+                .memory(MemBackendConfig::Banked(bad))
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidDram(DramConfigError::ZeroTiming("burst"))
+        );
     }
 
     #[test]

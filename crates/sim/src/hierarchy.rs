@@ -29,6 +29,7 @@ use timekeeping::{
 use crate::bus::Bus;
 use crate::cache::SetAssocCache;
 use crate::config::{PrefetchMode, SystemConfig, VictimMode};
+use crate::dram::{DramStats, MemBackend};
 use crate::mshr::MshrFile;
 use crate::obs::{
     self, ProfStage, ProfileReport, Profiler, TraceCategories, TraceObserver, TraceRecord,
@@ -179,6 +180,8 @@ pub struct MemorySystem {
     pub(crate) prefetch_mshrs: MshrFile,
     pub(crate) l1l2_bus: Bus,
     pub(crate) l2mem_bus: Bus,
+    /// Main-memory model behind the L2↔memory bus (see [`crate::dram`]).
+    pub(crate) backend: Box<dyn MemBackend>,
     pub(crate) pf_queue: PrefetchQueue,
     /// In-flight prefetches ordered by arrival: `(arrive, line, set)`.
     pub(crate) inflight_pf: BinaryHeap<Reverse<(u64, u64, u64)>>,
@@ -282,6 +285,7 @@ impl MemorySystem {
             prefetch_mshrs: MshrFile::new(m.prefetch_mshrs),
             l1l2_bus: Bus::new(m.l1l2_bus_occupancy),
             l2mem_bus: Bus::new(m.l2mem_bus_occupancy),
+            backend: crate::dram::build_backend(cfg.memory, m.mem_latency),
             pf_queue: PrefetchQueue::new(m.prefetch_queue),
             inflight_pf: BinaryHeap::new(),
             pending_pf: vec![None; num_sets],
@@ -469,6 +473,12 @@ impl MemorySystem {
             PrefetcherImpl::Tk(p) => Some(p.table_stats()),
             _ => None,
         }
+    }
+
+    /// Banked-DRAM statistics; `None` under the fixed-latency backend
+    /// (which has nothing to report, keeping snapshots byte-identical).
+    pub fn dram_stats(&self) -> Option<DramStats> {
+        self.backend.snapshot()
     }
 
     /// DBCP statistics, if configured.

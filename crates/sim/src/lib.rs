@@ -43,6 +43,7 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
 pub mod obs;
@@ -55,6 +56,10 @@ pub use config::{
     ConfigError, L1Mode, MachineConfig, PrefetchMode, SystemConfig, SystemConfigBuilder, VictimMode,
 };
 pub use core::{CoreStats, OooCore};
+pub use dram::{
+    default_mem_backend, parse_backend_arg, set_default_mem_backend, BankedDram, BankedDramConfig,
+    DramConfigError, DramStats, FixedLatency, MemBackend, MemBackendConfig, MemReply, RowOutcome,
+};
 pub use hierarchy::{AccessOutcome, HierarchyStats, MemorySystem};
 pub use obs::{
     obs_config, set_obs_config, set_out_dir, set_profile, set_trace, set_trace_sample,

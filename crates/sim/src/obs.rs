@@ -71,11 +71,14 @@ pub enum TraceCategory {
     Gen,
     /// Prefetch lifecycle: fire (issue), arrival, discard.
     Prefetch,
+    /// DRAM device events (banked backend only): reads and writebacks
+    /// reaching the memory device, with their row-buffer outcome.
+    Dram,
 }
 
 impl TraceCategory {
     /// Every category, in presentation order.
-    pub const ALL: [TraceCategory; 7] = [
+    pub const ALL: [TraceCategory; 8] = [
         TraceCategory::Lookup,
         TraceCategory::Hit,
         TraceCategory::Miss,
@@ -83,6 +86,7 @@ impl TraceCategory {
         TraceCategory::Evict,
         TraceCategory::Gen,
         TraceCategory::Prefetch,
+        TraceCategory::Dram,
     ];
 
     /// The canonical lowercase name (what `--trace=CATS` accepts).
@@ -95,6 +99,7 @@ impl TraceCategory {
             TraceCategory::Evict => "evict",
             TraceCategory::Gen => "gen",
             TraceCategory::Prefetch => "prefetch",
+            TraceCategory::Dram => "dram",
         }
     }
 
@@ -107,6 +112,7 @@ impl TraceCategory {
             TraceCategory::Evict => 1 << 4,
             TraceCategory::Gen => 1 << 5,
             TraceCategory::Prefetch => 1 << 6,
+            TraceCategory::Dram => 1 << 7,
         }
     }
 }
@@ -223,11 +229,18 @@ pub enum TraceKind {
     /// A prefetch was discarded (`aux`: 0 queue overflow,
     /// 1 displaced-resident-live drop).
     PfDiscard = 9,
+    /// A read reached the DRAM device (banked backend only; `aux` =
+    /// [`RowOutcome`](crate::dram::RowOutcome) code: 0 hit, 1 closed,
+    /// 2 conflict).
+    DramRead = 10,
+    /// A writeback reached the DRAM device (banked backend only; `aux`
+    /// as for [`TraceKind::DramRead`]).
+    DramWrite = 11,
 }
 
 impl TraceKind {
     /// Every kind, indexable by its `u8` value.
-    pub const ALL: [TraceKind; 10] = [
+    pub const ALL: [TraceKind; 12] = [
         TraceKind::Lookup,
         TraceKind::Hit,
         TraceKind::Miss,
@@ -238,6 +251,8 @@ impl TraceKind {
         TraceKind::PfFire,
         TraceKind::PfArrival,
         TraceKind::PfDiscard,
+        TraceKind::DramRead,
+        TraceKind::DramWrite,
     ];
 
     /// The canonical name used in the JSONL encoding and summaries.
@@ -253,6 +268,8 @@ impl TraceKind {
             TraceKind::PfFire => "pf_fire",
             TraceKind::PfArrival => "pf_arrival",
             TraceKind::PfDiscard => "pf_discard",
+            TraceKind::DramRead => "dram_read",
+            TraceKind::DramWrite => "dram_write",
         }
     }
 
@@ -268,6 +285,7 @@ impl TraceKind {
             TraceKind::PfFire | TraceKind::PfArrival | TraceKind::PfDiscard => {
                 TraceCategory::Prefetch
             }
+            TraceKind::DramRead | TraceKind::DramWrite => TraceCategory::Dram,
         }
     }
 

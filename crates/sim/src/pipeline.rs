@@ -698,6 +698,24 @@ impl MemorySystem {
         }
     }
 
+    /// Records one DRAM access record when tracing is installed AND the
+    /// backend models row buffers (`row` is `Some`); the fixed-latency
+    /// default therefore emits nothing and existing trace goldens are
+    /// unchanged. The aux payload is the [`RowOutcome`] code.
+    #[inline]
+    fn trace_dram(
+        &mut self,
+        kind: TraceKind,
+        addr: timekeeping::Addr,
+        at: Cycle,
+        row: Option<crate::dram::RowOutcome>,
+    ) {
+        if let Some(row) = row {
+            let line = self.l1d.geometry().line_of(addr);
+            self.trace_pf(kind, line, at, row.code());
+        }
+    }
+
     /// Enqueues the prefetch targets the observers produced, in order.
     fn drain_prefetches(&mut self, rx: Reactions, now: Cycle) {
         for req in rx.prefetches {
@@ -1123,14 +1141,29 @@ impl MemorySystem {
                 let start1 = self.l1l2_bus.schedule(base);
                 let at_l2 = self.l1l2_bus.done_at(start1) + m.l2_latency;
                 let start2 = self.l2mem_bus.schedule(at_l2);
+                // The read reaches the memory device once it has crossed
+                // the L2/memory bus; the backend owns everything after
+                // that (a constant under FixedLatency, bank/row/channel
+                // timing under BankedDram).
+                let at_mem = self.l2mem_bus.done_at(start2);
+                let reply = self.backend.issue(addr, at_mem);
+                self.trace_dram(TraceKind::DramRead, addr, at_mem, reply.row);
                 // An L2 fill may evict a dirty L2 line: write it to memory.
                 let (l2_victim, l2_resident) = self.l2.peek_victim(addr);
                 if l2_resident.is_some() && self.l2.frame_dirty(l2_victim) {
                     self.stats.l2_writebacks += 1;
-                    self.l2mem_bus.schedule(at_l2);
+                    let wb_addr = self.l2.geometry().addr_of_line(
+                        self.l2
+                            .line_in_frame(l2_victim)
+                            .expect("dirty frame is valid"),
+                    );
+                    let wb_start = self.l2mem_bus.schedule(at_l2);
+                    let wb_at_mem = self.l2mem_bus.done_at(wb_start);
+                    let wb_row = self.backend.write(wb_addr, wb_at_mem);
+                    self.trace_dram(TraceKind::DramWrite, wb_addr, wb_at_mem, wb_row);
                 }
                 self.l2.fill(addr);
-                self.l2mem_bus.done_at(start2) + m.mem_latency
+                reply.done
             }
         }
     }
@@ -1152,7 +1185,10 @@ impl MemorySystem {
             None => {
                 // Not L2-resident: the write-back continues to memory.
                 self.stats.l2_writebacks += 1;
-                self.l2mem_bus.schedule(now);
+                let start = self.l2mem_bus.schedule(now);
+                let at_mem = self.l2mem_bus.done_at(start);
+                let row = self.backend.write(addr, at_mem);
+                self.trace_dram(TraceKind::DramWrite, addr, at_mem, row);
             }
         }
     }
@@ -1267,6 +1303,15 @@ impl MemorySystem {
             consider(Cycle::new(arrive));
         }
         if let Some(c) = self.next_issue_opportunity(now) {
+            consider(c);
+        }
+        // The memory backend's self-scheduled releases (bank / channel-bus
+        // frees under BankedDram; none under FixedLatency). These unblock
+        // no pipeline gate directly — backend state only evolves at
+        // issue()/write() calls — so the extra wake-ups are harmless by
+        // the idempotence of `advance_cycle`, and conservative reporting
+        // keeps the hop target exact for any future gate that reads them.
+        if let Some(c) = self.backend.next_event(now) {
             consider(c);
         }
         next

@@ -33,6 +33,8 @@ pub struct RunResult {
     pub dbcp: Option<timekeeping::DbcpStats>,
     /// Prefetch-queue overflow discards.
     pub pf_queue_discards: u64,
+    /// Banked-DRAM statistics (`None` under the fixed-latency default).
+    pub dram: Option<crate::dram::DramStats>,
 }
 
 impl RunResult {
@@ -53,7 +55,7 @@ impl RunResult {
 
 impl Snapshot for RunResult {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("workload", Json::Str(self.workload.clone())),
             ("core", self.core.to_json()),
             ("hierarchy", self.hierarchy.to_json()),
@@ -71,7 +73,16 @@ impl Snapshot for RunResult {
             ("correlation", Json::option(&self.correlation)),
             ("dbcp", Json::option(&self.dbcp)),
             ("pf_queue_discards", Json::U64(self.pf_queue_discards)),
-        ])
+        ]);
+        // Emitted only when present: the fixed-latency default keeps the
+        // exact pre-backend document shape, so golden digests and old
+        // cached results stay byte-identical.
+        if let Some(d) = &self.dram {
+            if let Json::Obj(map) = &mut obj {
+                map.insert("dram".to_owned(), d.to_json());
+            }
+        }
+        obj
     }
 
     fn from_json(v: &Json) -> Result<Self, SnapshotError> {
@@ -90,6 +101,12 @@ impl Snapshot for RunResult {
             correlation: v.option_field("correlation")?,
             dbcp: v.option_field("dbcp")?,
             pf_queue_discards: v.u64_field("pf_queue_discards")?,
+            // Tolerant of the field's absence (documents written before
+            // the backend plane, and every fixed-latency run since).
+            dram: match v.get("dram") {
+                Err(_) | Ok(Json::Null) => None,
+                Ok(other) => Some(crate::dram::DramStats::from_json(other)?),
+            },
         })
     }
 }
@@ -195,6 +212,7 @@ impl SimSystem {
             correlation: mem.correlation_stats(),
             dbcp: mem.dbcp_stats(),
             pf_queue_discards: mem.pf_queue_discards(),
+            dram: mem.dram_stats(),
             metrics: std::mem::take(mem.metrics_mut()),
         }
     }

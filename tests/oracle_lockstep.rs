@@ -70,6 +70,38 @@ fn decay_config() {
     }
 }
 
+/// The banked DRAM backend changes *when* lines arrive, never *which*
+/// lines hit or miss — the oracle is timing-free, so lockstep must hold
+/// under it bit-for-bit, mechanisms included.
+#[test]
+fn banked_dram_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    for mem in [
+        tk_sim::MemBackendConfig::Banked(tk_sim::BankedDramConfig::DDR2),
+        tk_sim::MemBackendConfig::Banked(tk_sim::BankedDramConfig::DDR4),
+    ] {
+        let cfgs = [
+            SystemConfig::builder()
+                .memory(mem)
+                .build()
+                .expect("banked config is valid"),
+            SystemConfig::builder()
+                .memory(mem)
+                .victim(VictimMode::paper_dead_time())
+                .prefetch(PrefetchMode::Timekeeping(
+                    timekeeping::CorrelationConfig::PAPER_8KB,
+                ))
+                .build()
+                .expect("banked mechanism config is valid"),
+        ];
+        for cfg in cfgs {
+            for b in [SpecBenchmark::Mcf, SpecBenchmark::Swim] {
+                checked(b, cfg, budget);
+            }
+        }
+    }
+}
+
 /// The cold-miss-only study mode has no tag array to mirror: the oracle
 /// declines it rather than diverging.
 #[test]

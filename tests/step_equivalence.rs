@@ -12,7 +12,9 @@
 
 use timekeeping::snapshot::Snapshot;
 use tk_bench::FigureOpts;
-use tk_sim::{run_workload, PrefetchMode, SystemConfig, VictimMode};
+use tk_sim::{
+    run_workload, BankedDramConfig, MemBackendConfig, PrefetchMode, SystemConfig, VictimMode,
+};
 use tk_workloads::SpecBenchmark;
 
 /// Runs `bench` under `cfg` with both clocks and asserts bit-equality.
@@ -98,6 +100,50 @@ fn victim_and_decay_configs() {
         SystemConfig::with_decay(8_192),
     ] {
         for b in [SpecBenchmark::Mcf, SpecBenchmark::Gzip, SpecBenchmark::Art] {
+            assert_equivalent(b, cfg, budget);
+        }
+    }
+}
+
+/// All 26 workloads under the banked DDR2 backend: DRAM completions now
+/// depend on row-buffer state and bank/channel busy times, so the
+/// hopping clock must wake at every `MemBackend::next_event` boundary
+/// and the backend must see the identical (request, timestamp) sequence
+/// under both clocks.
+#[test]
+fn all_workloads_banked_ddr2() {
+    let cfg = SystemConfig::builder()
+        .memory(MemBackendConfig::Banked(BankedDramConfig::DDR2))
+        .build()
+        .expect("banked config is valid");
+    for &b in &SpecBenchmark::ALL {
+        assert_equivalent(b, cfg, FigureOpts::QUICK_INSTRUCTIONS);
+    }
+}
+
+/// Banked DDR4 combined with the paper's mechanisms: prefetch arrivals
+/// and victim swaps layered on top of variable DRAM completions is the
+/// densest event interleaving the clock faces.
+#[test]
+fn banked_ddr4_with_mechanisms() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 2;
+    let mem = MemBackendConfig::Banked(BankedDramConfig::DDR4);
+    let configs = [
+        SystemConfig::builder()
+            .memory(mem)
+            .prefetch(PrefetchMode::Timekeeping(
+                timekeeping::CorrelationConfig::PAPER_8KB,
+            ))
+            .build()
+            .expect("banked prefetch config is valid"),
+        SystemConfig::builder()
+            .memory(mem)
+            .victim(VictimMode::paper_dead_time())
+            .build()
+            .expect("banked victim config is valid"),
+    ];
+    for cfg in configs {
+        for b in [SpecBenchmark::Mcf, SpecBenchmark::Swim, SpecBenchmark::Gcc] {
             assert_equivalent(b, cfg, budget);
         }
     }
