@@ -1,0 +1,172 @@
+//! Sampling calibration: full runs vs `--sample` runs, per benchmark.
+//!
+//! For every workload in the suite this binary times a golden full
+//! simulation and a statistically sampled one (same budget, same seed),
+//! then reports the wall-clock speedup and the stat error the sampling
+//! introduced: L1 miss-rate error in percentage points and relative IPC
+//! error in percent, with suite geomeans. The document is also written
+//! to `BENCH_sample.json` at the repository root.
+//!
+//! Usage: `sample_calibrate [instructions] [--quick] [--sample=I,K] ...`
+//! (default 4,000,000 instructions). Without an explicit `--sample`, the
+//! interval adapts to the budget (`max(1_000, budget/400)` with k = 8)
+//! so that `--quick` still exercises real clustering instead of the
+//! degenerate full-run path.
+//!
+//! Exits 1 when the geomean absolute miss-rate error exceeds 2 % — CI
+//! runs `sample_calibrate --quick` as a smoke gate on exactly this
+//! bound.
+//!
+//! Runs bypass the engine memo on purpose: the point is honest
+//! wall-clock, not cached results.
+
+use std::time::Instant;
+
+use timekeeping::snapshot::Json;
+use tk_bench::runner::FigureOpts;
+use tk_sim::{run_workload, RunResult, SampleConfig, SystemConfig};
+use tk_workloads::SpecBenchmark;
+
+/// The CI gate: geomean absolute miss-rate error, percentage points.
+const MISS_RATE_GATE_PP: f64 = 2.0;
+
+fn main() {
+    let opts = FigureOpts::from_args().or_default_budget(4_000_000);
+    let budget = opts.instructions;
+    let sc = opts.sample.unwrap_or(SampleConfig {
+        interval: (budget / 400).max(1_000),
+        k: 8,
+    });
+
+    let mut full_cfg = SystemConfig::base();
+    full_cfg.sample = None;
+    let mut sampled_cfg = full_cfg;
+    sampled_cfg.sample = Some(sc);
+
+    println!(
+        "sampling calibration: {budget} instructions, interval={}, k={}",
+        sc.interval, sc.k
+    );
+    println!(
+        "{:10} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} | {:>8} {:>8} {:>6}",
+        "bench", "miss%", "smp%", "err_pp", "ipc", "smp", "err%", "full_ms", "smp_ms", "spd"
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut miss_errs = Vec::new();
+    let mut ipc_errs = Vec::new();
+    let (mut wall_full, mut wall_sampled) = (0.0_f64, 0.0_f64);
+
+    for b in SpecBenchmark::ALL {
+        let (full, t_full) = timed_run(b, full_cfg, opts.seed, budget);
+        let (sampled, t_samp) = timed_run(b, sampled_cfg, opts.seed, budget);
+
+        let mr_f = full.hierarchy.l1_miss_rate() * 100.0;
+        let mr_s = sampled.hierarchy.l1_miss_rate() * 100.0;
+        let miss_err = (mr_s - mr_f).abs();
+        let ipc_err = if full.ipc() == 0.0 {
+            0.0
+        } else {
+            ((sampled.ipc() - full.ipc()) / full.ipc()).abs() * 100.0
+        };
+        let note = if sampled.sampled.is_none() {
+            " (full fallback)"
+        } else {
+            ""
+        };
+        println!(
+            "{:10} {:7.3} {:7.3} {:7.3} | {:6.3} {:6.3} {:6.2} | {:8.1} {:8.1} {:5.1}x{}",
+            b.name(),
+            mr_f,
+            mr_s,
+            miss_err,
+            full.ipc(),
+            sampled.ipc(),
+            ipc_err,
+            t_full * 1e3,
+            t_samp * 1e3,
+            t_full / t_samp.max(1e-9),
+            note,
+        );
+
+        miss_errs.push(miss_err);
+        ipc_errs.push(ipc_err);
+        wall_full += t_full;
+        wall_sampled += t_samp;
+        rows.push(Json::obj([
+            ("bench", Json::Str(b.name().to_owned())),
+            ("miss_rate_full_pct", fjson(mr_f)),
+            ("miss_rate_sampled_pct", fjson(mr_s)),
+            ("miss_rate_err_pp", fjson(miss_err)),
+            ("ipc_full", fjson(full.ipc())),
+            ("ipc_sampled", fjson(sampled.ipc())),
+            ("ipc_err_pct", fjson(ipc_err)),
+            ("wall_full_ms", fjson(t_full * 1e3)),
+            ("wall_sampled_ms", fjson(t_samp * 1e3)),
+            (
+                "timed_instructions",
+                Json::U64(sampled.sampled.map_or(budget, |s| s.timed_instructions)),
+            ),
+        ]));
+    }
+
+    let gm_miss = geomean_err(&miss_errs);
+    let gm_ipc = geomean_err(&ipc_errs);
+    let max_miss = miss_errs.iter().copied().fold(0.0_f64, f64::max);
+    let max_ipc = ipc_errs.iter().copied().fold(0.0_f64, f64::max);
+    let speedup = wall_full / wall_sampled.max(1e-9);
+    println!(
+        "\nsuite: speedup {speedup:.1}x  |  miss-rate err geomean {gm_miss:.3} pp (max {max_miss:.3})  \
+         |  IPC err geomean {gm_ipc:.2}% (max {max_ipc:.2}%)"
+    );
+
+    let doc = Json::obj([
+        ("instructions", Json::U64(budget)),
+        ("seed", Json::U64(opts.seed)),
+        ("interval", Json::U64(sc.interval)),
+        ("k", Json::U64(u64::from(sc.k))),
+        ("speedup", fjson(speedup)),
+        ("miss_rate_err_geomean_pp", fjson(gm_miss)),
+        ("miss_rate_err_max_pp", fjson(max_miss)),
+        ("ipc_err_geomean_pct", fjson(gm_ipc)),
+        ("ipc_err_max_pct", fjson(max_ipc)),
+        ("workloads", Json::Arr(rows)),
+    ]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sample.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("report written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    if gm_miss > MISS_RATE_GATE_PP {
+        eprintln!(
+            "FAIL: geomean miss-rate error {gm_miss:.3} pp exceeds the {MISS_RATE_GATE_PP} pp gate"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: geomean miss-rate error {gm_miss:.3} pp <= {MISS_RATE_GATE_PP} pp");
+}
+
+/// Runs one simulation directly (no memo) and times it.
+fn timed_run(b: SpecBenchmark, cfg: SystemConfig, seed: u64, budget: u64) -> (RunResult, f64) {
+    let mut w = b.build(seed);
+    let start = Instant::now();
+    let r = run_workload(&mut w, cfg, budget);
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// The snapshot `Json` keeps integers exact and has no float variant;
+/// report floats render as fixed-precision strings.
+fn fjson(x: f64) -> Json {
+    Json::Str(format!("{x:.6}"))
+}
+
+/// Geomean of nonnegative errors via `exp(mean(ln(1+e))) - 1`, which
+/// tolerates exact zeros.
+fn geomean_err(errs: &[f64]) -> f64 {
+    if errs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = errs.iter().map(|e| (1.0 + e).ln()).sum();
+    (s / errs.len() as f64).exp() - 1.0
+}

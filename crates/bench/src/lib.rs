@@ -26,6 +26,34 @@ pub mod runner;
 pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};
 pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};
 
+/// Asserts that `actual` is within `pct` percent of `expected`
+/// (relative, symmetric: `|actual - expected| <= pct/100 * |expected|`).
+///
+/// The calibration tests pin paper-replication numbers and sampling
+/// error bounds with this one helper so every tolerance check fails
+/// with the same self-describing message.
+///
+/// # Panics
+///
+/// Panics when the relative difference exceeds `pct`, or when exactly
+/// one of the two values is zero (the relative error is undefined, and
+/// a hard zero against a nonzero pin is always a regression).
+#[track_caller]
+pub fn assert_within_pct(actual: f64, expected: f64, pct: f64, what: &str) {
+    if expected == 0.0 && actual == 0.0 {
+        return;
+    }
+    assert!(
+        expected != 0.0,
+        "{what}: expected value pinned at 0 but got {actual}"
+    );
+    let rel = ((actual - expected) / expected).abs() * 100.0;
+    assert!(
+        rel <= pct,
+        "{what}: {actual} is {rel:.2}% from {expected} (allowed {pct}%)"
+    );
+}
+
 /// Expands to the `main` of a figure/table binary.
 ///
 /// Every `src/bin/figNN` stub is this one macro call, so the CLI contract
@@ -79,4 +107,29 @@ macro_rules! figure_main {
             println!("{}", $crate::figures::$fig());
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::assert_within_pct;
+
+    #[test]
+    fn within_pct_accepts_close_values() {
+        assert_within_pct(1.015, 1.0, 2.0, "well inside, high");
+        assert_within_pct(0.985, 1.0, 2.0, "well inside, low");
+        assert_within_pct(0.0, 0.0, 1.0, "both zero");
+        assert_within_pct(-1.01, -1.0, 2.0, "negative pins work");
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted metric")]
+    fn within_pct_rejects_drift() {
+        assert_within_pct(1.05, 1.0, 2.0, "drifted metric");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected value pinned at 0")]
+    fn within_pct_rejects_zero_pin_mismatch() {
+        assert_within_pct(0.5, 0.0, 2.0, "zero pin");
+    }
 }

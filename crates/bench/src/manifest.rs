@@ -45,6 +45,13 @@ pub fn manifest_json(
         ("trace", Json::Bool(opts.trace)),
         ("profile", Json::Bool(opts.profile)),
         ("dram", Json::Str(opts.dram.describe())),
+        (
+            "sample",
+            Json::Str(match opts.sample {
+                None => "off".to_owned(),
+                Some(s) => format!("interval={},k={}", s.interval, s.k),
+            }),
+        ),
         ("wall_ms", Json::U64(wall.as_millis() as u64)),
         (
             "crate_versions",
@@ -129,9 +136,13 @@ mod tests {
     #[test]
     fn manifest_pins_the_run() {
         let mut opts = FigureOpts::quick();
-        // Pin the backend rather than inheriting the process global,
-        // which a parallel CLI test may be toggling.
+        // Pin the backend and sampling mode rather than inheriting the
+        // process globals, which a parallel CLI test may be toggling.
         opts.dram = tk_sim::MemBackendConfig::Fixed;
+        opts.sample = Some(tk_sim::SampleConfig {
+            interval: 50_000,
+            k: 7,
+        });
         let jobs = vec![
             Job::new(SpecBenchmark::Gzip, SystemConfig::base(), 1, 10_000),
             Job::new(SpecBenchmark::Mcf, SystemConfig::base(), 1, 10_000),
@@ -147,6 +158,13 @@ mod tests {
         assert_eq!(j.u64_field("wall_ms").unwrap(), 250);
         assert_eq!(j.u64_field("simulations").unwrap(), 3);
         assert_eq!(j.get("dram").unwrap().as_str().unwrap(), "fixed");
+        assert_eq!(
+            j.get("sample").unwrap().as_str().unwrap(),
+            "interval=50000,k=7"
+        );
+        opts.sample = None;
+        let off = manifest_json("fig99", &opts, Duration::ZERO, &[], (0, 0, 0));
+        assert_eq!(off.get("sample").unwrap().as_str().unwrap(), "off");
         let fps = j.get("config_fingerprints").unwrap().as_arr().unwrap();
         assert_eq!(fps.len(), 2, "duplicate job tuples dedupe");
         assert!(fps[0].as_str().unwrap().contains("bench="));

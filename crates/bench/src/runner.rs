@@ -59,6 +59,12 @@ pub struct FigureOpts {
     /// every `SystemConfig::builder()` in every figure picks it up; this
     /// field records the choice for manifests.
     pub dram: tk_sim::MemBackendConfig,
+    /// The `--sample[=interval,k]` statistical-sampling mode (`None` =
+    /// full simulation). Like `--dram`, the parser also sets the
+    /// process-wide default (`tk_sim::set_default_sample`) so every
+    /// `SystemConfig::builder()` in every figure picks it up; this field
+    /// records the choice for manifests.
+    pub sample: Option<tk_sim::SampleConfig>,
 }
 
 impl FigureOpts {
@@ -83,6 +89,7 @@ impl FigureOpts {
             trace: false,
             profile: false,
             dram: tk_sim::default_mem_backend(),
+            sample: tk_sim::default_sample(),
         }
     }
 
@@ -205,6 +212,17 @@ impl FigureOpts {
                     opts.dram = backend;
                     tk_sim::set_default_mem_backend(backend);
                 }
+                "--sample" => {
+                    // Bare `--sample` selects the default parameters
+                    // rather than consuming the next argument (like
+                    // `--cache`).
+                    let sc = match inline {
+                        Some(v) => tk_sim::parse_sample_arg(v)?,
+                        None => tk_sim::SampleConfig::DEFAULT,
+                    };
+                    opts.sample = Some(sc);
+                    tk_sim::set_default_sample(Some(sc));
+                }
                 "--help" | "-h" => {
                     println!("{}", usage());
                     std::process::exit(0);
@@ -262,6 +280,11 @@ fn usage() -> String {
          \x20 --dram=BACKEND     memory model: fixed (default, the paper's\n\
          \x20                    constant latency) or banked[:ddr2|:ddr4]\n\
          \x20                    (row buffers, banks, channel buses)\n\
+         \x20 --sample[=I,K]     statistical sampling: split the budget into\n\
+         \x20                    I-instruction intervals, k-means them into K\n\
+         \x20                    clusters, time only the representatives with\n\
+         \x20                    functional warmup (default {},{}; results\n\
+         \x20                    carry a `sampled` tag and separate cache keys)\n\
          \x20 --trace[=CATS]     stream typed memory events (binary + JSONL);\n\
          \x20                    CATS filters categories, e.g. miss,fill,pf\n\
          \x20 --trace-sample N   keep 1-in-N L1 sets in the trace\n\
@@ -273,6 +296,8 @@ fn usage() -> String {
          interface). Clear the disk cache with: rm -rf {}",
         FigureOpts::DEFAULT_INSTRUCTIONS,
         FigureOpts::QUICK_INSTRUCTIONS,
+        tk_sim::SampleConfig::DEFAULT.interval,
+        tk_sim::SampleConfig::DEFAULT.k,
         FigureOpts::DEFAULT_CACHE_DIR,
         FigureOpts::DEFAULT_CACHE_DIR,
     )
@@ -515,6 +540,44 @@ mod tests {
         assert!(parse(&["--dram"]).is_err());
 
         tk_sim::set_default_mem_backend(prev);
+    }
+
+    #[test]
+    fn sample_flag_sets_the_process_default() {
+        // Mutates the process-global default: save and restore, like
+        // dram_flag_sets_the_process_default_backend.
+        let prev = tk_sim::default_sample();
+
+        let (o, pos) = parse(&["--sample"]).unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(o.sample, Some(tk_sim::SampleConfig::DEFAULT));
+        assert_eq!(tk_sim::default_sample(), o.sample);
+        // Configs built after the flag carry the sampling mode (and
+        // their cache keys gain the fragment).
+        assert_eq!(SystemConfig::base().sample, o.sample);
+        assert!(SystemConfig::base().cache_key().contains("sample={"));
+
+        // Explicit parameters, both argument forms.
+        let (o, _) = parse(&["--sample=50000,8"]).unwrap();
+        assert_eq!(
+            o.sample,
+            Some(tk_sim::SampleConfig {
+                interval: 50_000,
+                k: 8
+            })
+        );
+        // Bare `--sample` does not consume the next argument.
+        let (o, pos) = parse(&["--sample", "777"]).unwrap();
+        assert_eq!(o.sample, Some(tk_sim::SampleConfig::DEFAULT));
+        assert_eq!(pos, vec!["777"]);
+
+        // Malformed values surface as parse errors.
+        assert!(parse(&["--sample=0,4"]).is_err());
+        assert!(parse(&["--sample=10,0"]).is_err());
+        assert!(parse(&["--sample=nope"]).is_err());
+
+        tk_sim::set_default_sample(prev);
+        assert_eq!(SystemConfig::base().sample, prev);
     }
 
     #[test]

@@ -160,6 +160,10 @@ pub struct FullyAssocShadow {
     by_line: HashMap<u64, u64>,
     by_stamp: BTreeMap<u64, u64>,
     seen: HashSet<u64>,
+    /// Frozen prefix of the seen set, shared with the producer of a
+    /// checkpoint (see [`from_parts`](Self::from_parts)). A line is
+    /// "seen" if it is in either set; new observations land in `seen`.
+    seen_base: Option<std::sync::Arc<HashSet<u64>>>,
     breakdown: MissBreakdown,
 }
 
@@ -179,6 +183,7 @@ impl FullyAssocShadow {
             by_line: HashMap::new(),
             by_stamp: BTreeMap::new(),
             seen: HashSet::new(),
+            seen_base: None,
             breakdown: MissBreakdown::default(),
         }
     }
@@ -186,6 +191,44 @@ impl FullyAssocShadow {
     /// Capacity in blocks.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Reconstructs a shadow from exported state: the resident lines in
+    /// LRU→MRU order, the set of lines ever seen (the residents are
+    /// added to it), and the accumulated breakdown. Used by the sampling
+    /// warmup engine, which tracks the same LRU semantics in a faster
+    /// structure and converts at checkpoint-injection time — the seen
+    /// set transfers as a shared frozen snapshot, so a warm checkpoint
+    /// hands over its whole footprint in O(1) instead of copying it at
+    /// each representative. Lines the new shadow observes accumulate in
+    /// a private overlay; membership is the union of the two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero or more than `capacity_blocks`
+    /// resident lines are supplied.
+    pub fn from_parts(
+        capacity_blocks: usize,
+        resident_lru_to_mru: impl IntoIterator<Item = u64>,
+        seen: std::sync::Arc<HashSet<u64>>,
+        breakdown: MissBreakdown,
+    ) -> Self {
+        let mut s = FullyAssocShadow::new(capacity_blocks);
+        s.seen_base = Some(seen);
+        for line in resident_lru_to_mru {
+            s.stamp += 1;
+            s.seen.insert(line);
+            let replaced = s.by_line.insert(line, s.stamp);
+            assert!(replaced.is_none(), "duplicate resident line {line:#x}");
+            s.by_stamp.insert(s.stamp, line);
+        }
+        assert!(
+            s.by_line.len() <= capacity_blocks,
+            "{} resident lines exceed capacity {capacity_blocks}",
+            s.by_line.len()
+        );
+        s.breakdown = breakdown;
+        s
     }
 
     /// Number of lines currently resident in the shadow.
@@ -216,7 +259,10 @@ impl FullyAssocShadow {
 
     /// Classifies a miss in the real cache, then observes the access.
     pub fn classify_miss(&mut self, line: LineAddr) -> MissKind {
-        let kind = if !self.seen.contains(&line.get()) {
+        let raw = line.get();
+        let ever_seen =
+            self.seen.contains(&raw) || self.seen_base.as_ref().is_some_and(|b| b.contains(&raw));
+        let kind = if !ever_seen {
             MissKind::Cold
         } else if self.contains(line) {
             MissKind::Conflict

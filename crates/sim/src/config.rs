@@ -150,6 +150,41 @@ pub enum L1Mode {
     ColdOnly,
 }
 
+/// Statistical-sampling parameters (SimPoint-style interval selection,
+/// [`crate::sample`]).
+///
+/// A run with `Some(SampleConfig)` profiles the workload into
+/// fixed-length instruction intervals, clusters their access-pattern
+/// signatures, and timing-simulates only one representative interval per
+/// cluster after functionally warming cache state through the skipped
+/// prefix — reconstructing full-run statistics as a weighted sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleConfig {
+    /// Interval length in instructions (profiling granularity and the
+    /// length of each timed representative).
+    pub interval: u64,
+    /// Number of k-means clusters, i.e. the maximum number of
+    /// representative intervals simulated under the timing model.
+    pub k: u32,
+}
+
+impl SampleConfig {
+    /// The `--sample` default: 100 K-instruction intervals, 10 clusters.
+    /// At the figure binaries' 8 M-instruction budget that is 80
+    /// intervals, of which at most 10 (plus the sub-interval tail) run
+    /// under the timing model.
+    pub const DEFAULT: SampleConfig = SampleConfig {
+        interval: 100_000,
+        k: 10,
+    };
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
 /// Full system configuration: machine + mechanism selection.
 ///
 /// Construct one through [`SystemConfig::builder`] (validated), or with
@@ -186,6 +221,11 @@ pub struct SystemConfig {
     /// far in the future) are issued only on a fully idle bus, smoothing
     /// bus contention; urgent ones use the normal demand-priority gate.
     pub slack_prefetch: bool,
+    /// Statistical sampling: when set, [`crate::run_workload`] simulates
+    /// only representative intervals under the timing model (functional
+    /// warmup through the rest) and reconstructs weighted statistics.
+    /// `None` (the default) simulates every instruction.
+    pub sample: Option<SampleConfig>,
     /// Main-memory backend. The default, [`MemBackendConfig::Fixed`],
     /// reads the deprecated `machine.mem_latency` alias and reproduces
     /// the paper's constant-latency memory bit-exactly;
@@ -218,6 +258,12 @@ pub enum ConfigError {
     /// A cache-decay interval of zero would switch every line off on the
     /// tick after its fill.
     ZeroDecayInterval,
+    /// A sampling interval of zero instructions defines no intervals to
+    /// profile or simulate.
+    ZeroSampleInterval,
+    /// Zero k-means clusters select no representative intervals, so no
+    /// statistics would ever be reconstructed.
+    ZeroSampleK,
     /// The banked-DRAM geometry or timing is structurally invalid (see
     /// [`DramConfigError`] for the exact rule violated).
     InvalidDram(DramConfigError),
@@ -241,6 +287,8 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroVictimThreshold => "victim-cache admission threshold must be nonzero",
             ConfigError::ZeroDecayInterval => "decay interval must be nonzero",
+            ConfigError::ZeroSampleInterval => "sampling interval must be nonzero",
+            ConfigError::ZeroSampleK => "sampling cluster count (k) must be nonzero",
             ConfigError::InvalidDram(_) => unreachable!("delegated to DramConfigError above"),
         };
         f.write_str(s)
@@ -343,6 +391,22 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables statistical sampling with the given interval length and
+    /// cluster count (default: the process-wide `--sample` choice, which
+    /// itself defaults to off).
+    pub fn sample(mut self, sample: SampleConfig) -> Self {
+        self.cfg.sample = Some(sample);
+        self
+    }
+
+    /// Disables statistical sampling (overrides the process-wide
+    /// `--sample` default for this one configuration — used by reference
+    /// runs inside the calibration harness).
+    pub fn no_sample(mut self) -> Self {
+        self.cfg.sample = None;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -373,6 +437,14 @@ impl SystemConfigBuilder {
         if cfg.decay_interval == Some(0) {
             return Err(ConfigError::ZeroDecayInterval);
         }
+        if let Some(s) = cfg.sample {
+            if s.interval == 0 {
+                return Err(ConfigError::ZeroSampleInterval);
+            }
+            if s.k == 0 {
+                return Err(ConfigError::ZeroSampleK);
+            }
+        }
         if let MemBackendConfig::Banked(b) = cfg.memory {
             crate::dram::validate(&b).map_err(ConfigError::InvalidDram)?;
         }
@@ -399,6 +471,9 @@ impl SystemConfig {
                 // One orthogonal `--dram` flag flows to every config
                 // construction site through this process-wide default.
                 memory: crate::dram::default_mem_backend(),
+                // Likewise for `--sample`: every figure binary's configs
+                // pick up the process-wide sampling choice.
+                sample: crate::sample::default_sample(),
             },
         }
     }
@@ -524,6 +599,13 @@ impl SystemConfig {
         // pre-existing memo/disk/golden key byte-identical. Banked configs
         // get a full fingerprint so they can never alias a fixed entry.
         key.push_str(&self.memory.cache_key_suffix());
+        // Sampled runs approximate full runs, so they must never alias a
+        // full-run memo/disk/golden entry: the fragment fingerprints the
+        // sampling parameters, and its absence keeps every pre-existing
+        // (non-sampled) key byte-identical.
+        if let Some(s) = self.sample {
+            key.push_str(&format!(" sample={{interval={},k={}}}", s.interval, s.k));
+        }
         // The hopping clock is bit-identical to per-cycle stepping, so the
         // default mode adds nothing to the key (cached results are valid
         // across the two); the reference mode is tagged only so its runs
@@ -629,6 +711,61 @@ mod tests {
                 .unwrap_err(),
             ConfigError::InvalidDram(DramConfigError::ZeroTiming("burst"))
         );
+    }
+
+    #[test]
+    fn sample_fragment_fingerprints_the_cache_key() {
+        let full = SystemConfig::base();
+        assert_eq!(full.sample, None);
+        assert!(!full.cache_key().contains("sample"));
+        let sampled = SystemConfig::builder()
+            .sample(SampleConfig::DEFAULT)
+            .build()
+            .unwrap();
+        assert!(sampled
+            .cache_key()
+            .ends_with(" sample={interval=100000,k=10}"));
+        // The sample tag slots in after the memory suffix and before the
+        // step-reference tag, which stays the final suffix.
+        let step = SystemConfig::builder()
+            .sample(SampleConfig {
+                interval: 500,
+                k: 3,
+            })
+            .step_every_cycle()
+            .build()
+            .unwrap();
+        let key = step.cache_key();
+        assert!(key.contains(" sample={interval=500,k=3}"), "{key}");
+        assert!(key.ends_with(" step_every_cycle=true"));
+    }
+
+    #[test]
+    fn degenerate_sampling_parameters_are_rejected_at_build() {
+        assert_eq!(
+            SystemConfig::builder()
+                .sample(SampleConfig { interval: 0, k: 4 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroSampleInterval
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .sample(SampleConfig {
+                    interval: 1000,
+                    k: 0
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroSampleK
+        );
+        assert!(SystemConfig::builder()
+            .sample(SampleConfig {
+                interval: 1000,
+                k: 1
+            })
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -49,11 +49,13 @@ pub mod mshr;
 pub mod obs;
 pub mod oracle;
 pub mod pipeline;
+pub mod sample;
 pub mod system;
 pub mod trace;
 
 pub use config::{
-    ConfigError, L1Mode, MachineConfig, PrefetchMode, SystemConfig, SystemConfigBuilder, VictimMode,
+    ConfigError, L1Mode, MachineConfig, PrefetchMode, SampleConfig, SystemConfig,
+    SystemConfigBuilder, VictimMode,
 };
 pub use core::{CoreStats, OooCore};
 pub use dram::{
@@ -67,6 +69,7 @@ pub use obs::{
     TraceRecord,
 };
 pub use oracle::{lockstep_check_enabled, set_lockstep_check, FunctionalOracle, LockstepChecker};
+pub use sample::{default_sample, parse_sample_arg, set_default_sample, SampleStats};
 pub use system::{run_workload, run_workload_checked, RunResult, SimSystem};
 pub use trace::{Instr, MemRef, Workload};
 

@@ -74,11 +74,14 @@ pub enum TraceCategory {
     /// DRAM device events (banked backend only): reads and writebacks
     /// reaching the memory device, with their row-buffer outcome.
     Dram,
+    /// Statistical-sampling markers (sampled runs only): one record per
+    /// representative interval entering timed simulation.
+    Sample,
 }
 
 impl TraceCategory {
     /// Every category, in presentation order.
-    pub const ALL: [TraceCategory; 8] = [
+    pub const ALL: [TraceCategory; 9] = [
         TraceCategory::Lookup,
         TraceCategory::Hit,
         TraceCategory::Miss,
@@ -87,6 +90,7 @@ impl TraceCategory {
         TraceCategory::Gen,
         TraceCategory::Prefetch,
         TraceCategory::Dram,
+        TraceCategory::Sample,
     ];
 
     /// The canonical lowercase name (what `--trace=CATS` accepts).
@@ -100,6 +104,7 @@ impl TraceCategory {
             TraceCategory::Gen => "gen",
             TraceCategory::Prefetch => "prefetch",
             TraceCategory::Dram => "dram",
+            TraceCategory::Sample => "sample",
         }
     }
 
@@ -113,6 +118,7 @@ impl TraceCategory {
             TraceCategory::Gen => 1 << 5,
             TraceCategory::Prefetch => 1 << 6,
             TraceCategory::Dram => 1 << 7,
+            TraceCategory::Sample => 1 << 8,
         }
     }
 }
@@ -236,11 +242,15 @@ pub enum TraceKind {
     /// A writeback reached the DRAM device (banked backend only; `aux`
     /// as for [`TraceKind::DramRead`]).
     DramWrite = 11,
+    /// A representative interval entered timed simulation (sampled runs
+    /// only; `line` = interval index, `aux` = cluster weight in
+    /// intervals).
+    SampleRep = 12,
 }
 
 impl TraceKind {
     /// Every kind, indexable by its `u8` value.
-    pub const ALL: [TraceKind; 12] = [
+    pub const ALL: [TraceKind; 13] = [
         TraceKind::Lookup,
         TraceKind::Hit,
         TraceKind::Miss,
@@ -253,6 +263,7 @@ impl TraceKind {
         TraceKind::PfDiscard,
         TraceKind::DramRead,
         TraceKind::DramWrite,
+        TraceKind::SampleRep,
     ];
 
     /// The canonical name used in the JSONL encoding and summaries.
@@ -270,6 +281,7 @@ impl TraceKind {
             TraceKind::PfDiscard => "pf_discard",
             TraceKind::DramRead => "dram_read",
             TraceKind::DramWrite => "dram_write",
+            TraceKind::SampleRep => "sample_rep",
         }
     }
 
@@ -286,6 +298,7 @@ impl TraceKind {
                 TraceCategory::Prefetch
             }
             TraceKind::DramRead | TraceKind::DramWrite => TraceCategory::Dram,
+            TraceKind::SampleRep => TraceCategory::Sample,
         }
     }
 

@@ -122,14 +122,22 @@ pub struct SimObservation {
 #[derive(Debug, Clone)]
 struct ShadowTags {
     geom: CacheGeometry,
-    sets: Vec<Vec<u64>>,
+    /// `assoc` slots per set, one contiguous row each: tags stored `+1`
+    /// (0 = invalid way), occupied slots packed at the front of the row
+    /// in LRU→MRU order. The sampling warmup runs [`touch`](Self::touch)
+    /// on every memory reference, so a row must be one flat cache-line
+    /// scan, not a heap-allocated `Vec` per set.
+    slots: Vec<u64>,
+    assoc: usize,
 }
 
 impl ShadowTags {
     fn new(geom: CacheGeometry) -> Self {
+        let assoc = geom.assoc() as usize;
         ShadowTags {
             geom,
-            sets: vec![Vec::new(); geom.num_sets() as usize],
+            slots: vec![0; geom.num_sets() as usize * assoc],
+            assoc,
         }
     }
 
@@ -137,54 +145,110 @@ impl ShadowTags {
         self.geom.index_of_line(line) as usize
     }
 
+    #[inline]
+    fn tag1_of(&self, line: LineAddr) -> u64 {
+        let t = self.geom.tag_of_line(line).wrapping_add(1);
+        debug_assert!(t != 0, "tag u64::MAX is unsupported");
+        t
+    }
+
+    #[inline]
+    fn row(&self, set_idx: usize) -> &[u64] {
+        &self.slots[set_idx * self.assoc..(set_idx + 1) * self.assoc]
+    }
+
     /// Whether `line` is resident; moves it to MRU if so.
+    #[inline]
     fn touch(&mut self, line: LineAddr) -> bool {
-        let tag = self.geom.tag_of_line(line);
+        let tag1 = self.tag1_of(line);
         let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        match set.iter().position(|&t| t == tag) {
-            Some(pos) => {
-                let t = set.remove(pos);
-                set.push(t);
-                true
-            }
-            None => false,
+        let assoc = self.assoc;
+        if assoc == 1 {
+            // Direct-mapped fast path (the paper's L1): one compare, no
+            // recency to maintain. The warm loop calls this for every
+            // reference, so the generic runtime-`assoc` loop below is
+            // worth bypassing.
+            return self.slots[set_idx] == tag1;
         }
+        let row = &mut self.slots[set_idx * assoc..(set_idx + 1) * assoc];
+        for i in 0..assoc {
+            let t = row[i];
+            if t == 0 {
+                return false; // packed: the first empty way ends the row
+            }
+            if t == tag1 {
+                // Move to MRU (the last occupied slot), shifting the
+                // younger entries down.
+                let mut j = i;
+                while j + 1 < assoc && row[j + 1] != 0 {
+                    row[j] = row[j + 1];
+                    j += 1;
+                }
+                row[j] = tag1;
+                return true;
+            }
+        }
+        false
     }
 
     /// The line a fill into `line`'s set would evict (true LRU, invalid
     /// ways first), without modifying anything.
     fn peek_victim(&self, line: LineAddr) -> Option<LineAddr> {
         let set_idx = self.set_of(line);
-        let set = &self.sets[set_idx];
-        if set.len() < self.geom.assoc() as usize {
+        let row = self.row(set_idx);
+        if row[self.assoc - 1] == 0 {
             None
         } else {
-            Some(self.geom.line_from_parts(set[0], set_idx as u64))
+            Some(self.geom.line_from_parts(row[0] - 1, set_idx as u64))
         }
     }
 
     /// Fills `line` as MRU, returning the evicted line, if any. The
     /// line must not be resident.
     fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
-        let evicted = self.peek_victim(line);
-        let tag = self.geom.tag_of_line(line);
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        debug_assert!(!set.contains(&tag), "fill of a resident line");
-        if evicted.is_some() {
-            set.remove(0);
+        if self.assoc == 1 {
+            let set_idx = self.set_of(line);
+            let old = self.slots[set_idx];
+            self.slots[set_idx] = self.tag1_of(line);
+            return (old != 0).then(|| self.geom.line_from_parts(old - 1, set_idx as u64));
         }
-        set.push(tag);
+        let evicted = self.peek_victim(line);
+        let tag1 = self.tag1_of(line);
+        let set_idx = self.set_of(line);
+        let assoc = self.assoc;
+        let row = &mut self.slots[set_idx * assoc..(set_idx + 1) * assoc];
+        debug_assert!(!row.contains(&tag1), "fill of a resident line");
+        if evicted.is_some() {
+            // Row full: drop the LRU at slot 0, shift, insert at MRU.
+            row.copy_within(1.., 0);
+            row[assoc - 1] = tag1;
+        } else {
+            let free = row.iter().position(|&t| t == 0).expect("row not full");
+            row[free] = tag1;
+        }
         evicted
     }
 
     /// The set contents in LRU→MRU order, for divergence reports.
     fn set_lines(&self, set_idx: u64) -> Vec<LineAddr> {
-        self.sets[set_idx as usize]
+        self.row(set_idx as usize)
             .iter()
-            .map(|&t| self.geom.line_from_parts(t, set_idx))
+            .take_while(|&&t| t != 0)
+            .map(|&t| self.geom.line_from_parts(t - 1, set_idx))
             .collect()
+    }
+
+    /// Every resident line, set-major, LRU→MRU within each set — the
+    /// order checkpoint injection replays fills in. One allocation for
+    /// the whole array instead of one `Vec` per set.
+    fn all_lines(&self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        for set_idx in 0..self.geom.num_sets() as usize {
+            for &t in self.row(set_idx).iter().take_while(|&&t| t != 0) {
+                out.push(self.geom.line_from_parts(t - 1, set_idx as u64));
+            }
+        }
+        out
     }
 }
 
@@ -343,6 +407,74 @@ impl FunctionalOracle {
             false
         }
     }
+
+    // -- sampling warmup (see `crate::sample`) -------------------------
+
+    /// One timing-free demand access, used by the statistical-sampling
+    /// warmup to fast-forward cache-tag state through skipped intervals.
+    /// Returns the line the L1 displaced, if the fill evicted one (the
+    /// warm shadow clears its dirty bit: the writeback happens there).
+    ///
+    /// Walks the hierarchy exactly like [`step_demand`](Self::step_demand)
+    /// but with no simulator observation to consume: there are no MSHRs
+    /// (every repeat access to a resident tag is a hit, because tags
+    /// allocate at miss time), no decay, and victim-cache admission
+    /// admits every eviction (the timing-based filters cannot be
+    /// evaluated without a clock — the sampled run clears the victim
+    /// buffer at the representative boundary anyway, see
+    /// `crate::sample`).
+    pub(crate) fn warm_access(&mut self, addr: Addr) -> Option<LineAddr> {
+        let line = self.l1.geom.line_of(addr);
+        if self.l1.touch(line) {
+            return None;
+        }
+        if let Some(vc) = self.vc.as_mut() {
+            if vc.take(line) {
+                let evicted = self.l1.fill(line);
+                if let Some(ev) = evicted {
+                    self.vc.as_mut().expect("checked").insert(ev);
+                }
+                return evicted;
+            }
+        }
+        self.l2_fetch(line);
+        let evicted = self.l1.fill(line);
+        self.apply_admission(evicted, Some(true));
+        evicted
+    }
+
+    /// The L1 geometry this oracle mirrors.
+    pub(crate) fn l1_geometry(&self) -> &CacheGeometry {
+        &self.l1.geom
+    }
+
+    /// The L2 geometry this oracle mirrors.
+    pub(crate) fn l2_geometry(&self) -> &CacheGeometry {
+        &self.l2.geom
+    }
+
+    /// Every resident L1 line (set-major, LRU→MRU within each set), for
+    /// checkpoint injection.
+    pub(crate) fn l1_lines(&self) -> Vec<LineAddr> {
+        self.l1.all_lines()
+    }
+
+    /// Every resident L2 line (set-major, LRU→MRU within each set), for
+    /// checkpoint injection.
+    pub(crate) fn l2_lines(&self) -> Vec<LineAddr> {
+        self.l2.all_lines()
+    }
+
+    /// Empties the victim buffer. The sampled engine starts every
+    /// representative interval with an empty victim cache (admission
+    /// decisions are timing-based, so warm contents would be a guess);
+    /// clearing the mirror keeps a lockstep checker cloned from the warm
+    /// oracle in agreement with the freshly-built simulator.
+    pub(crate) fn clear_vc(&mut self) {
+        if let Some(vc) = self.vc.as_mut() {
+            vc.entries.clear();
+        }
+    }
 }
 
 /// Lockstep state: the oracle plus the access counter for reports.
@@ -357,6 +489,16 @@ impl LockstepChecker {
     pub fn new(cfg: &SystemConfig) -> Self {
         LockstepChecker {
             oracle: FunctionalOracle::new(cfg),
+            accesses: 0,
+        }
+    }
+
+    /// Creates a checker around a pre-warmed oracle — used by the sampled
+    /// engine, whose representative intervals start from injected
+    /// (non-empty) cache state that the warm oracle mirrors exactly.
+    pub(crate) fn from_oracle(oracle: FunctionalOracle) -> Self {
+        LockstepChecker {
+            oracle,
             accesses: 0,
         }
     }

@@ -35,6 +35,10 @@ pub struct RunResult {
     pub pf_queue_discards: u64,
     /// Banked-DRAM statistics (`None` under the fixed-latency default).
     pub dram: Option<crate::dram::DramStats>,
+    /// Statistical-sampling summary (`None` for full runs, including
+    /// configurations where sampling was requested but fell back to full
+    /// simulation — the absence of this tag is the fallback signal).
+    pub sampled: Option<crate::sample::SampleStats>,
 }
 
 impl RunResult {
@@ -82,6 +86,11 @@ impl Snapshot for RunResult {
                 map.insert("dram".to_owned(), d.to_json());
             }
         }
+        if let Some(s) = &self.sampled {
+            if let Json::Obj(map) = &mut obj {
+                map.insert("sampled".to_owned(), s.to_json());
+            }
+        }
         obj
     }
 
@@ -106,6 +115,10 @@ impl Snapshot for RunResult {
             dram: match v.get("dram") {
                 Err(_) | Ok(Json::Null) => None,
                 Ok(other) => Some(crate::dram::DramStats::from_json(other)?),
+            },
+            sampled: match v.get("sampled") {
+                Err(_) | Ok(Json::Null) => None,
+                Ok(other) => Some(crate::sample::SampleStats::from_json(other)?),
             },
         })
     }
@@ -135,7 +148,18 @@ pub fn run_workload<W: Workload + ?Sized>(
     cfg: SystemConfig,
     instructions: u64,
 ) -> RunResult {
-    let mut sys = if crate::oracle::lockstep_check_enabled() {
+    let checked = crate::oracle::lockstep_check_enabled();
+    if let Some(sc) = cfg.sample {
+        if crate::oracle::FunctionalOracle::supports(&cfg) {
+            if let Some(r) = crate::sample::run_sampled(workload, cfg, sc, instructions, checked) {
+                return r;
+            }
+        }
+        // Unsupported configuration or unforkable workload: fall through
+        // to an ordinary full run. The result carries no `sampled` tag,
+        // which is how callers detect the fallback.
+    }
+    let mut sys = if checked {
         SimSystem::checked(cfg)
     } else {
         SimSystem::new(cfg)
@@ -152,6 +176,13 @@ pub fn run_workload_checked<W: Workload + ?Sized>(
     cfg: SystemConfig,
     instructions: u64,
 ) -> RunResult {
+    if let Some(sc) = cfg.sample {
+        if crate::oracle::FunctionalOracle::supports(&cfg) {
+            if let Some(r) = crate::sample::run_sampled(workload, cfg, sc, instructions, true) {
+                return r;
+            }
+        }
+    }
     SimSystem::checked(cfg).run(workload, instructions)
 }
 
@@ -213,6 +244,7 @@ impl SimSystem {
             dbcp: mem.dbcp_stats(),
             pf_queue_discards: mem.pf_queue_discards(),
             dram: mem.dram_stats(),
+            sampled: None,
             metrics: std::mem::take(mem.metrics_mut()),
         }
     }

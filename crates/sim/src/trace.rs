@@ -73,6 +73,15 @@ pub trait Workload {
 
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// An independent copy that will produce the identical future
+    /// instruction stream, or `None` if this source cannot be duplicated
+    /// mid-stream. Statistical sampling ([`crate::sample`]) needs a fork
+    /// for its profiling pass; workloads without one fall back to full
+    /// simulation.
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -82,6 +91,10 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        (**self).fork()
     }
 }
 

@@ -39,6 +39,11 @@ pub trait Pattern: std::fmt::Debug {
     fn prefetch_hint(&self) -> Option<u64> {
         None
     }
+
+    /// An independent copy with identical state, so a composite workload
+    /// can be forked mid-stream (`Workload::fork`). Both copies produce
+    /// the same future access sequence given the same `Rng` stream.
+    fn box_clone(&self) -> Box<dyn Pattern>;
 }
 
 /// Sequential sweep over a large region, wrapping at the end — the
@@ -84,6 +89,10 @@ impl StreamPattern {
 }
 
 impl Pattern for StreamPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
         let addr = self.base + self.pos;
         self.pos = (self.pos + self.stride) % self.footprint;
@@ -138,6 +147,10 @@ impl TriadPattern {
 }
 
 impl Pattern for TriadPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
         let (array, kind) = match self.phase {
             0 => (1, AccessKind::Load),  // b[i]
@@ -232,6 +245,10 @@ impl PointerChasePattern {
 }
 
 impl Pattern for PointerChasePattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
         let node_addr = self.base + self.idx * self.node_spacing;
         let (addr, kind) = if self.field == 0 {
@@ -303,6 +320,10 @@ impl BlockedPattern {
 }
 
 impl Pattern for BlockedPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
         let addr = self.base + self.tile_start + self.pos;
         let pc = self.pc_base + (self.sweep % 4) * 4;
@@ -402,6 +423,10 @@ impl ConflictWalkPattern {
 }
 
 impl Pattern for ConflictWalkPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
         if self.randomized && self.word == 0 {
             self.cur_way = rng.below(self.ways);
@@ -473,6 +498,10 @@ impl HotWorkingSetPattern {
 }
 
 impl Pattern for HotWorkingSetPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, rng: &mut Rng) -> RawAccess {
         let off = rng.below(self.working_set) & !7;
         let kind = if rng.chance(self.store_chance_pct, 100) {
@@ -530,6 +559,10 @@ impl StencilPattern {
 }
 
 impl Pattern for StencilPattern {
+    fn box_clone(&self) -> Box<dyn Pattern> {
+        Box::new(self.clone())
+    }
+
     fn next_access(&mut self, _rng: &mut Rng) -> RawAccess {
         // north, west, center, east, south, then store to center.
         let (dr, dc, kind) = match self.phase {

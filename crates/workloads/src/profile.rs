@@ -60,6 +60,32 @@ pub struct SyntheticWorkload {
     phase_dominant: usize,
 }
 
+impl Clone for SyntheticWorkload {
+    fn clone(&self) -> Self {
+        SyntheticWorkload {
+            name: self.name.clone(),
+            rng: self.rng.clone(),
+            patterns: self
+                .patterns
+                .iter()
+                .map(|(w, p)| (*w, p.box_clone()))
+                .collect(),
+            total_weight: self.total_weight,
+            compute_base: self.compute_base,
+            compute_spread: self.compute_spread,
+            burst: self.burst,
+            sw_prefetch: self.sw_prefetch,
+            ops_remaining: self.ops_remaining,
+            burst_remaining: self.burst_remaining,
+            mem_count: self.mem_count,
+            pending: self.pending.clone(),
+            phase_len: self.phase_len,
+            phase_remaining: self.phase_remaining,
+            phase_dominant: self.phase_dominant,
+        }
+    }
+}
+
 /// Builder for [`SyntheticWorkload`].
 #[derive(Debug)]
 pub struct SyntheticWorkloadBuilder {
@@ -236,6 +262,10 @@ impl Workload for SyntheticWorkload {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +393,27 @@ mod tests {
             sample(&mut w, 500)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn fork_replays_the_identical_future_stream() {
+        let mut w = SyntheticWorkload::builder("t", 7)
+            .pattern(1, Box::new(HotWorkingSetPattern::new(0, 8192, 0x400, 10)))
+            .pattern(2, Box::new(StreamPattern::new(0, 1 << 16, 64, 0x500, 4)))
+            .burstiness(Burstiness {
+                burst_chance_pct: 10,
+                burst_len: 4,
+            })
+            .software_prefetch(SwPrefetchPolicy { every: 8 })
+            .build();
+        // Advance mid-stream, then fork: both copies continue identically
+        // without perturbing each other.
+        let _ = sample(&mut w, 777);
+        let mut f = w.fork().expect("synthetic workloads fork");
+        assert_eq!(f.name(), "t");
+        let a = sample(&mut w, 500);
+        let b: Vec<Instr> = (0..500).map(|_| f.next_instr()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! Bands are deliberately wide (the exact numbers may drift with benign
 //! changes); the *regime* must not.
 
-use tk_sim::{run_workload, SystemConfig};
+use tk_bench::assert_within_pct;
+use tk_sim::{run_workload, SampleConfig, SystemConfig};
 use tk_workloads::{BenchGroup, SpecBenchmark};
 
 const INSTS: u64 = 6_000_000;
@@ -100,6 +101,50 @@ fn conflict_programs_stay_conflict_dominated() {
             "{b}: capacity {} must dominate conflict {}",
             bd.capacity,
             bd.conflict
+        );
+    }
+}
+
+/// Error-bound pins for the sampling estimator: on the memory-bound
+/// benchmarks (where relative bounds are meaningful) a sampled run's
+/// derived percentage stats must track the golden full run within a
+/// calibrated tolerance. The exact errors today are far inside these
+/// bands (`sample_calibrate` reports them per workload); the bands
+/// leave room for benign drift while catching an estimator regression
+/// long before it warps a figure.
+#[test]
+fn sampled_estimates_track_full_runs_within_calibrated_error() {
+    const BUDGET: u64 = 1_000_000;
+    let full_cfg = SystemConfig::base();
+    let mut sampled_cfg = full_cfg;
+    sampled_cfg.sample = Some(SampleConfig {
+        interval: 2_500,
+        k: 8,
+    });
+
+    // (bench, allowed miss-rate error %, allowed IPC error %) — relative.
+    let pins = [
+        (SpecBenchmark::Mcf, 5.0, 5.0),
+        (SpecBenchmark::Swim, 5.0, 10.0),
+        (SpecBenchmark::Gcc, 5.0, 10.0),
+        (SpecBenchmark::Art, 5.0, 10.0),
+        (SpecBenchmark::Facerec, 5.0, 10.0),
+    ];
+    for (bench, miss_tol, ipc_tol) in pins {
+        let full = run_workload(&mut bench.build(1), full_cfg, BUDGET);
+        let sampled = run_workload(&mut bench.build(1), sampled_cfg, BUDGET);
+        assert!(sampled.sampled.is_some(), "{bench}: result must be tagged");
+        assert_within_pct(
+            sampled.hierarchy.l1_miss_rate(),
+            full.hierarchy.l1_miss_rate(),
+            miss_tol,
+            &format!("{bench}: sampled L1 miss rate"),
+        );
+        assert_within_pct(
+            sampled.ipc(),
+            full.ipc(),
+            ipc_tol,
+            &format!("{bench}: sampled IPC"),
         );
     }
 }

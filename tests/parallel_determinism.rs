@@ -8,7 +8,9 @@ use std::sync::Mutex;
 use timekeeping::{CorrelationConfig, Snapshot};
 use tk_bench::engine::{self, Job};
 use tk_bench::runner::{run_bench, run_suite, FigureOpts};
-use tk_sim::{run_workload, ConfigError, PrefetchMode, RunResult, SystemConfig, VictimMode};
+use tk_sim::{
+    run_workload, ConfigError, PrefetchMode, RunResult, SampleConfig, SystemConfig, VictimMode,
+};
 use tk_workloads::SpecBenchmark;
 
 /// The engine's memo, stat counters, and disk-cache directory are global to
@@ -61,6 +63,47 @@ fn parallel_results_bit_identical_to_serial() {
         assert_eq!(r.breakdown, p.breakdown);
         assert_eq!(r.hierarchy, p.hierarchy);
         assert_eq!(r.metrics, p.metrics);
+    }
+}
+
+/// Sampling inherits the engine contract: a sampled job produces the
+/// same bits whether it runs on one worker, on a wide pool, or again in
+/// a later invocation. Clustering, warmup and reconstruction are all
+/// deterministic — worker scheduling must stay invisible through them.
+#[test]
+fn sampled_results_bit_identical_to_serial() {
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    engine::reset_stats();
+
+    let cfg = SystemConfig::builder()
+        .sample(SampleConfig {
+            interval: 25_000,
+            k: 3,
+        })
+        .build()
+        .expect("sampled base config");
+    let jobs: Vec<Job> = [SpecBenchmark::Gzip, SpecBenchmark::Mcf, SpecBenchmark::Art]
+        .iter()
+        .map(|&b| Job::new(b, cfg, 1, INSTS))
+        .collect();
+
+    // Ground truth: the plain serial path, no engine involved.
+    let reference: Vec<RunResult> = jobs
+        .iter()
+        .map(|j| serial_reference(j.bench, j.cfg, j.seed, j.instructions))
+        .collect();
+
+    let serial = engine::run_jobs(&jobs, 1);
+    engine::reset_stats();
+    let parallel = engine::run_jobs(&jobs, 8);
+    engine::reset_stats();
+    let repeat = engine::run_jobs(&jobs, 8);
+
+    for (((r, s), p), q) in reference.iter().zip(&serial).zip(&parallel).zip(&repeat) {
+        assert!(r.sampled.is_some(), "sampled config must tag its results");
+        assert_eq!(r, &**s, "sampled jobs=1 diverged from the serial path");
+        assert_eq!(r, &**p, "sampled jobs=8 diverged from the serial path");
+        assert_eq!(r, &**q, "sampled repeat invocation diverged");
     }
 }
 

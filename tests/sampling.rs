@@ -1,0 +1,203 @@
+//! Sampling subsystem: functional-warmup soundness, degenerate
+//! parameters, and composition with the other engine modes.
+//!
+//! The load-bearing property is the first test: fast-forwarding cache
+//! state through a prefix with the timing-free oracle and then timing a
+//! suffix must reproduce the *exact* L1-level outcomes (accesses, hits,
+//! victim hits, miss classification) that a full timing run produces
+//! over the same suffix. On the base machine every tag mutation happens
+//! at access time in program order, so warmup is not an approximation
+//! there — it is an equality, and a regression in it silently corrupts
+//! every sampled figure.
+
+use tk_sim::sample::warm_prefix_then_time;
+use tk_sim::{
+    run_workload, run_workload_checked, MemBackendConfig, RunResult, SampleConfig, SystemConfig,
+};
+use tk_workloads::SpecBenchmark;
+
+/// Unsampled base machine: the reference the warmup must match.
+fn full_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::base();
+    cfg.sample = None;
+    cfg
+}
+
+fn sampled_cfg(interval: u64, k: u32) -> SystemConfig {
+    let mut cfg = full_cfg();
+    cfg.sample = Some(SampleConfig { interval, k });
+    cfg
+}
+
+fn run(bench: SpecBenchmark, cfg: SystemConfig, budget: u64) -> RunResult {
+    run_workload(&mut bench.build(1), cfg, budget)
+}
+
+/// Warm-prefix-then-time must equal the full-run delta at the L1 level,
+/// across workloads from every regime (conflict-, capacity- and
+/// compute-bound, with and without software prefetches in the stream).
+///
+/// Only L1-level outcomes are pinned: L2/memory counters depend on
+/// machine state the representative deliberately starts cold (MSHR
+/// occupancy, prefetcher tables), which the calibration report bounds
+/// statistically instead.
+#[test]
+fn warm_prefix_then_time_matches_full_run_l1_outcomes() {
+    const PREFIX: u64 = 120_000;
+    const SUFFIX: u64 = 40_000;
+    for bench in [
+        SpecBenchmark::Gzip,
+        SpecBenchmark::Twolf,
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Swim,
+        SpecBenchmark::Mgrid,
+        SpecBenchmark::Art,
+        SpecBenchmark::Eon,
+        SpecBenchmark::Equake,
+    ] {
+        let cfg = full_cfg();
+        let a = run(bench, cfg, PREFIX);
+        let b = run(bench, cfg, PREFIX + SUFFIX);
+        let w = warm_prefix_then_time(&mut bench.build(1), cfg, PREFIX, SUFFIX);
+
+        assert_eq!(
+            w.hierarchy.l1_accesses,
+            b.hierarchy.l1_accesses - a.hierarchy.l1_accesses,
+            "{bench}: L1 accesses over the suffix"
+        );
+        assert_eq!(
+            w.hierarchy.l1_hits,
+            b.hierarchy.l1_hits - a.hierarchy.l1_hits,
+            "{bench}: L1 hits over the suffix"
+        );
+        assert_eq!(
+            w.hierarchy.vc_hits,
+            b.hierarchy.vc_hits - a.hierarchy.vc_hits,
+            "{bench}: victim hits over the suffix"
+        );
+        assert_eq!(
+            w.breakdown.cold,
+            b.breakdown.cold - a.breakdown.cold,
+            "{bench}: cold misses over the suffix"
+        );
+        assert_eq!(
+            w.breakdown.conflict,
+            b.breakdown.conflict - a.breakdown.conflict,
+            "{bench}: conflict misses over the suffix"
+        );
+        assert_eq!(
+            w.breakdown.capacity,
+            b.breakdown.capacity - a.breakdown.capacity,
+            "{bench}: capacity misses over the suffix"
+        );
+    }
+}
+
+/// A budget smaller than one interval cannot be sampled; the engine
+/// must fall back to the full timing model — bit-identical to an
+/// unsampled run — while still tagging the result as sampled, because
+/// the configuration (and its cache key) asked for sampling.
+#[test]
+fn budget_smaller_than_one_interval_runs_full_but_tagged() {
+    const BUDGET: u64 = 30_000;
+    let full = run(SpecBenchmark::Twolf, full_cfg(), BUDGET);
+    let mut r = run(SpecBenchmark::Twolf, sampled_cfg(1_000_000, 4), BUDGET);
+
+    let stats = r
+        .sampled
+        .take()
+        .expect("sampled config must tag its result");
+    assert_eq!(stats.intervals, 0);
+    assert_eq!(stats.representatives, 0);
+    assert_eq!(stats.timed_instructions, BUDGET);
+    assert_eq!(r, full, "degenerate sampling must equal the full run");
+}
+
+/// `k >= interval count` means clustering could skip nothing; same
+/// full-but-tagged contract.
+#[test]
+fn k_at_least_interval_count_runs_full_but_tagged() {
+    const BUDGET: u64 = 50_000;
+    let full = run(SpecBenchmark::Gzip, full_cfg(), BUDGET);
+    let mut r = run(SpecBenchmark::Gzip, sampled_cfg(10_000, 8), BUDGET);
+
+    let stats = r
+        .sampled
+        .take()
+        .expect("sampled config must tag its result");
+    assert_eq!(stats.intervals, 5);
+    assert_eq!(stats.representatives, 5);
+    assert_eq!(stats.timed_instructions, BUDGET);
+    assert_eq!(r, full, "degenerate sampling must equal the full run");
+}
+
+/// `k = 1` is the coarsest real sampling: one representative carries
+/// every whole interval's weight, plus the sub-interval tail at weight
+/// one. The reconstruction must still account for every instruction in
+/// the budget.
+#[test]
+fn k_of_one_times_a_single_representative() {
+    const BUDGET: u64 = 105_000; // 10 intervals + 5 000-instruction tail
+    let r = run(SpecBenchmark::Mcf, sampled_cfg(10_000, 1), BUDGET);
+
+    let stats = r.sampled.expect("sampled config must tag its result");
+    assert_eq!(stats.intervals, 10);
+    assert_eq!(stats.representatives, 1);
+    assert_eq!(stats.timed_instructions, 10_000 + 5_000);
+    assert_eq!(
+        r.core.instructions, BUDGET,
+        "weighted reconstruction must cover the whole budget"
+    );
+    assert!(r.hierarchy.l1_accesses > 0);
+}
+
+/// `--sample --check` composes: the lockstep checker is installed on
+/// every timed representative, seeded from the warmed oracle. A
+/// divergence panics, so completing the run *is* the assertion.
+#[test]
+fn sampling_composes_with_lockstep_check() {
+    const BUDGET: u64 = 100_000;
+    let r = run_workload_checked(
+        &mut SpecBenchmark::Twolf.build(1),
+        sampled_cfg(10_000, 3),
+        BUDGET,
+    );
+    let stats = r.sampled.expect("checked sampled run keeps its tag");
+    assert_eq!(stats.representatives, 3);
+    assert_eq!(r.core.instructions, BUDGET);
+}
+
+/// `--sample --dram=banked` composes: representatives run on the banked
+/// memory model and the reconstructed result still carries DRAM stats.
+#[test]
+fn sampling_composes_with_banked_dram() {
+    const BUDGET: u64 = 100_000;
+    let cfg = SystemConfig::builder()
+        .memory(MemBackendConfig::Banked(tk_sim::BankedDramConfig::DDR2))
+        .sample(SampleConfig {
+            interval: 10_000,
+            k: 3,
+        })
+        .build()
+        .expect("banked + sampled is a valid combination");
+    let r = run_workload(&mut SpecBenchmark::Swim.build(1), cfg, BUDGET);
+
+    let stats = r.sampled.expect("sampled config must tag its result");
+    assert_eq!(stats.representatives, 3);
+    assert_eq!(r.core.instructions, BUDGET);
+    let dram = r.dram.expect("banked runs report DRAM stats");
+    assert!(
+        dram.reads > 0,
+        "representatives must exercise the banked model"
+    );
+}
+
+/// Sampled results are deterministic: the same (workload, config, seed,
+/// budget) tuple reproduces bit-identically across invocations.
+#[test]
+fn sampled_runs_reproduce_bit_identically() {
+    const BUDGET: u64 = 200_000;
+    let first = run(SpecBenchmark::Art, sampled_cfg(5_000, 4), BUDGET);
+    let second = run(SpecBenchmark::Art, sampled_cfg(5_000, 4), BUDGET);
+    assert_eq!(first, second);
+}
