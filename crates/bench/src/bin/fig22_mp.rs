@@ -1,0 +1,5 @@
+//! Figure 22 re-asked on the MESI-coherent multi-core hierarchy: which
+//! timekeeping mechanism helps when coherence invalidations compete with
+//! replacement for the same generations. Optional first argument: the
+//! per-core instruction budget.
+tk_bench::figure_main!(fig22_mp);

@@ -1,0 +1,5 @@
+//! Victim-filter and timekeeping-predictor quality at 1, 2 and 4 cores,
+//! with the generation-death breakdown split by replacement vs
+//! invalidation. Optional first argument: the per-core instruction
+//! budget.
+tk_bench::figure_main!(mesi_compare);

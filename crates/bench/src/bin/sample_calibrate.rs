@@ -17,13 +17,26 @@
 //! runs `sample_calibrate --quick` as a smoke gate on exactly this
 //! bound.
 //!
-//! Runs bypass the engine memo on purpose: the point is honest
-//! wall-clock, not cached results.
+//! After the suite table, a **per-figure** calibration runs: every
+//! golden figure's engine job set is replayed under a small grid of
+//! `interval,k` operating points (coarsest first) and the figure-level
+//! error band is reported. Each figure is assigned the coarsest point
+//! that stays inside the suite gate, so figures with benign workload
+//! mixes can sample far more aggressively than the suite-wide default
+//! while sensitive figures fall back to finer points or to full runs.
+//! Figures whose jobs bypass the engine (the multi-core mixes) are
+//! skipped with a note.
+//!
+//! Suite runs bypass the engine memo on purpose: the point is honest
+//! wall-clock, not cached results. The per-figure section *uses* the
+//! memo: it measures error, not speed, and memoization keeps the grid
+//! affordable.
 
 use std::time::Instant;
 
 use timekeeping::snapshot::Json;
 use tk_bench::runner::FigureOpts;
+use tk_bench::{engine, golden};
 use tk_sim::{run_workload, RunResult, SampleConfig, SystemConfig};
 use tk_workloads::SpecBenchmark;
 
@@ -120,6 +133,8 @@ fn main() {
          |  IPC err geomean {gm_ipc:.2}% (max {max_ipc:.2}%)"
     );
 
+    let figure_rows = figure_bands(&opts);
+
     let doc = Json::obj([
         ("instructions", Json::U64(budget)),
         ("seed", Json::U64(opts.seed)),
@@ -131,6 +146,7 @@ fn main() {
         ("ipc_err_geomean_pct", fjson(gm_ipc)),
         ("ipc_err_max_pct", fjson(max_ipc)),
         ("workloads", Json::Arr(rows)),
+        ("figures", Json::Arr(figure_rows)),
     ]);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sample.json");
     match std::fs::write(&path, doc.render()) {
@@ -145,6 +161,166 @@ fn main() {
         std::process::exit(1);
     }
     println!("PASS: geomean miss-rate error {gm_miss:.3} pp <= {MISS_RATE_GATE_PP} pp");
+}
+
+/// The `interval,k` grid each figure is calibrated over, coarsest
+/// (cheapest, largest interval, fewest clusters) first. The finest point
+/// is the suite default, so every figure has at least one point no
+/// worse than the suite-wide setting.
+fn candidate_points(budget: u64) -> Vec<(&'static str, SampleConfig)> {
+    vec![
+        (
+            "coarse",
+            SampleConfig {
+                interval: (budget / 50).max(5_000),
+                k: 4,
+            },
+        ),
+        (
+            "medium",
+            SampleConfig {
+                interval: (budget / 160).max(2_000),
+                k: 6,
+            },
+        ),
+        (
+            "fine",
+            SampleConfig {
+                interval: (budget / 400).max(1_000),
+                k: 8,
+            },
+        ),
+    ]
+}
+
+/// Error band of one figure's job set at one operating point: geomean
+/// miss-rate error (pp), geomean relative IPC error (%), and how many
+/// jobs fell back to full simulation (configs sampling declines).
+struct Band {
+    gm_miss_pp: f64,
+    gm_ipc_pct: f64,
+    fallbacks: usize,
+}
+
+/// Replays `jobs` full vs sampled-at-`sc` through the engine memo and
+/// aggregates the figure-level error band.
+fn band_at(jobs: &[engine::Job], sc: SampleConfig, workers: usize) -> Band {
+    let full_jobs: Vec<engine::Job> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = *j;
+            j.cfg.sample = None;
+            j
+        })
+        .collect();
+    let sampled_jobs: Vec<engine::Job> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = *j;
+            j.cfg.sample = Some(sc);
+            j
+        })
+        .collect();
+    let fulls = engine::run_jobs(&full_jobs, workers);
+    let sampleds = engine::run_jobs(&sampled_jobs, workers);
+
+    let mut miss_errs = Vec::new();
+    let mut ipc_errs = Vec::new();
+    let mut fallbacks = 0;
+    for (full, sampled) in fulls.iter().zip(&sampleds) {
+        if sampled.sampled.is_none() {
+            fallbacks += 1;
+            continue;
+        }
+        let mr_f = full.hierarchy.l1_miss_rate() * 100.0;
+        let mr_s = sampled.hierarchy.l1_miss_rate() * 100.0;
+        miss_errs.push((mr_s - mr_f).abs());
+        if full.ipc() > 0.0 {
+            ipc_errs.push(((sampled.ipc() - full.ipc()) / full.ipc()).abs() * 100.0);
+        }
+    }
+    Band {
+        gm_miss_pp: geomean_err(&miss_errs),
+        gm_ipc_pct: geomean_err(&ipc_errs),
+        fallbacks,
+    }
+}
+
+/// Per-figure calibration: captures each golden figure's engine job set,
+/// measures its error band at every candidate operating point, and
+/// assigns the coarsest point inside the suite gate. Returns the JSON
+/// rows for the report document.
+fn figure_bands(opts: &FigureOpts) -> Vec<Json> {
+    let candidates = candidate_points(opts.instructions);
+    println!(
+        "\nper-figure operating points ({} instructions):",
+        opts.instructions
+    );
+    print!("{:14} {:>5}", "figure", "jobs");
+    for (label, sc) in &candidates {
+        print!(" | {label} i={} k={}", sc.interval, sc.k);
+    }
+    println!(" | chosen");
+
+    let mut rows = Vec::new();
+    for (name, generate) in golden::figure_manifest() {
+        // Capture the figure's distinct jobs by running it with the
+        // engine's job log on (memoized: repeat figures cost nothing).
+        engine::record_jobs(true);
+        let _ = engine::take_recorded_jobs();
+        let _ = generate(*opts);
+        let jobs = engine::take_recorded_jobs();
+        engine::record_jobs(false);
+        if jobs.is_empty() {
+            println!("{name:14} {:>5}  (no engine jobs; skipped)", 0);
+            continue;
+        }
+
+        let bands: Vec<Band> = candidates
+            .iter()
+            .map(|&(_, sc)| band_at(&jobs, sc, opts.jobs))
+            .collect();
+        // Coarsest point inside the suite gate wins; a figure where even
+        // the finest point misses the gate must run unsampled.
+        let chosen = bands
+            .iter()
+            .position(|b| b.gm_miss_pp <= MISS_RATE_GATE_PP)
+            .map_or("full".to_owned(), |i| {
+                let (label, sc) = &candidates[i];
+                format!("{label} ({},{})", sc.interval, sc.k)
+            });
+
+        print!("{name:14} {:>5}", jobs.len());
+        for b in &bands {
+            print!(" | {:6.3}pp {:5.2}%", b.gm_miss_pp, b.gm_ipc_pct);
+            if b.fallbacks > 0 {
+                print!(" ({} full)", b.fallbacks);
+            }
+        }
+        println!(" | {chosen}");
+
+        let band_rows: Vec<Json> = candidates
+            .iter()
+            .zip(&bands)
+            .map(|((label, sc), b)| {
+                Json::obj([
+                    ("point", Json::Str((*label).to_owned())),
+                    ("interval", Json::U64(sc.interval)),
+                    ("k", Json::U64(u64::from(sc.k))),
+                    ("miss_rate_err_geomean_pp", fjson(b.gm_miss_pp)),
+                    ("ipc_err_geomean_pct", fjson(b.gm_ipc_pct)),
+                    ("fallback_jobs", Json::U64(b.fallbacks as u64)),
+                ])
+            })
+            .collect();
+        rows.push(Json::obj([
+            ("figure", Json::Str(name.to_owned())),
+            ("jobs", Json::U64(jobs.len() as u64)),
+            ("bands", Json::Arr(band_rows)),
+            ("chosen", Json::Str(chosen)),
+        ]));
+    }
+    rows
 }
 
 /// Runs one simulation directly (no memo) and times it.

@@ -6,6 +6,7 @@
 //! instruction budgets.
 
 use timekeeping::{CorrelationConfig, DbcpConfig, MissKind, Timeliness};
+use tk_sim::trace::Workload as _;
 use tk_sim::{
     BankedDramConfig, MachineConfig, MemBackendConfig, PrefetchMode, SystemConfig, VictimMode,
 };
@@ -68,9 +69,12 @@ pub fn table1() -> String {
         "L2/memory bus".to_owned(),
         format!("{}-cycle occupancy per block", m.l2mem_bus_occupancy),
     ]);
+    // Table 1 reports the Fixed backend's latency alias.
+    #[allow(deprecated)]
+    let mem_latency = m.mem_latency;
     t.row(vec![
         "memory latency".to_owned(),
-        format!("{} cycles", m.mem_latency),
+        format!("{mem_latency} cycles"),
     ]);
     t.row(vec!["demand MSHRs".to_owned(), m.demand_mshrs.to_string()]);
     t.row(vec![
@@ -741,6 +745,203 @@ pub fn dram_compare(opts: FigureOpts) -> String {
          Base-run DRAM behavior (suite aggregate):\n\n{}",
         t.render(),
         d.render()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Multi-core figures (tk_sim::multicore)
+// ---------------------------------------------------------------------------
+
+/// The concurrent mixes of the multi-core figures: a streaming pair, a
+/// conflict-heavy pair, and a latency-bound pair. Each mix is rebuilt
+/// per run (workload state is consumed by simulation).
+fn mp_mixes(seed: u64) -> Vec<tk_workloads::ConcurrentMix> {
+    use tk_workloads::ConcurrentMix;
+    vec![
+        ConcurrentMix::new(vec![
+            Box::new(SpecBenchmark::Gzip.build(seed)),
+            Box::new(SpecBenchmark::Swim.build(seed)),
+        ]),
+        ConcurrentMix::new(vec![
+            Box::new(SpecBenchmark::Twolf.build(seed)),
+            Box::new(SpecBenchmark::Art.build(seed)),
+        ]),
+        ConcurrentMix::new(vec![
+            Box::new(SpecBenchmark::Mcf.build(seed)),
+            Box::new(SpecBenchmark::Gzip.build(seed)),
+        ]),
+    ]
+}
+
+/// The core counts every multi-core figure sweeps.
+const MP_CORES: [u32; 3] = [1, 2, 4];
+
+fn mp_cfg(cores: u32, victim: Option<VictimMode>, tk: bool) -> SystemConfig {
+    let mut b = SystemConfig::builder().cores(cores);
+    if let Some(v) = victim {
+        b = b.victim(v);
+    }
+    if tk {
+        // Predict-only: the only prefetcher form legal at every core
+        // count, so the comparison is like-for-like across the sweep.
+        b = b
+            .prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB))
+            .predict_only();
+    }
+    b.build().expect("multi-core figure configs are valid")
+}
+
+/// Figure 22-MP: the timekeeping mechanisms on the MESI-coherent
+/// multi-core hierarchy — Figure 22's question (which mechanism helps?)
+/// re-asked when the victim cache and predictor compete with coherence
+/// invalidations for the same generations.
+///
+/// The budget is per core; IPC is the aggregate over cores. These runs
+/// bypass the engine memo (concurrent mixes are not `SpecBenchmark`
+/// jobs), so the figure is serial and bit-deterministic.
+pub fn fig22_mp(opts: FigureOpts) -> String {
+    let mut t = TextTable::new(vec![
+        "mix",
+        "cores",
+        "base IPC",
+        "vc gain",
+        "miss rate",
+        "c2c/tx",
+        "inval deaths",
+    ]);
+    for mix in mp_mixes(opts.seed) {
+        for &cores in &MP_CORES {
+            let base = tk_sim::run_workload(
+                &mut mix.fork().expect("spec mixes fork"),
+                mp_cfg(cores, None, false),
+                opts.instructions,
+            );
+            let vc = tk_sim::run_workload(
+                &mut mix.fork().expect("spec mixes fork"),
+                mp_cfg(cores, Some(VictimMode::paper_dead_time()), false),
+                opts.instructions,
+            );
+            let coh = base.coherence;
+            t.row(vec![
+                mix.name().to_owned(),
+                cores.to_string(),
+                format!("{:.3}", base.ipc()),
+                pct(vc.speedup_over(&base)),
+                pct(base.hierarchy.l1_miss_rate()),
+                coh.map_or("n/a".to_owned(), |c| {
+                    format!(
+                        "{:.3}",
+                        c.c2c_transfers as f64 / c.transactions().max(1) as f64
+                    )
+                }),
+                coh.map_or("n/a".to_owned(), |c| {
+                    pct_opt(c.invalidation_death_fraction())
+                }),
+            ]);
+        }
+    }
+    format!(
+        "Figure 22-MP: timekeeping mechanisms under MESI coherence\n\
+         (per-core budget {}; victim = dead-time filter; cores=1 is the\n\
+         single-core machine, where coherence columns do not apply)\n\n{}",
+        opts.instructions,
+        t.render()
+    )
+}
+
+/// MESI compare: victim-filter and timekeeping-predictor quality at 1, 2
+/// and 4 cores, with the live/dead-time breakdown split by how each
+/// generation died — replacement (the paper's single-core subject) vs
+/// coherence/inclusion invalidation (new at `cores > 1`).
+pub fn mesi_compare(opts: FigureOpts) -> String {
+    let mut quality = TextTable::new(vec![
+        "mix",
+        "cores",
+        "vc admit",
+        "vc hit rate",
+        "tk addr acc",
+        "tk coverage",
+    ]);
+    let mut deaths = TextTable::new(vec![
+        "mix",
+        "cores",
+        "evict deaths",
+        "inval deaths",
+        "mean live(ev)",
+        "mean dead(ev)",
+        "mean live(inv)",
+        "mean dead(inv)",
+    ]);
+    for mix in mp_mixes(opts.seed) {
+        for &cores in &MP_CORES {
+            let vc = tk_sim::run_workload(
+                &mut mix.fork().expect("spec mixes fork"),
+                mp_cfg(cores, Some(VictimMode::paper_dead_time()), false),
+                opts.instructions,
+            );
+            let tk = tk_sim::run_workload(
+                &mut mix.fork().expect("spec mixes fork"),
+                mp_cfg(cores, None, true),
+                opts.instructions,
+            );
+            quality.row(vec![
+                mix.name().to_owned(),
+                cores.to_string(),
+                vc.victim
+                    .and_then(|v| v.admission_rate())
+                    .map_or("n/a".to_owned(), pct),
+                vc.victim
+                    .and_then(|v| v.hit_rate())
+                    .map_or("n/a".to_owned(), pct),
+                pct_opt(tk.hierarchy.addr_accuracy()),
+                tk.correlation
+                    .and_then(|c| c.hit_rate())
+                    .map_or("n/a".to_owned(), pct),
+            ]);
+            // The death breakdown comes from the victim-cache run: that
+            // is the configuration whose filter the dead times feed.
+            let row = match vc.coherence {
+                Some(c) => vec![
+                    mix.name().to_owned(),
+                    cores.to_string(),
+                    c.evict_deaths.to_string(),
+                    c.inval_deaths.to_string(),
+                    format!(
+                        "{:.0}",
+                        c.evict_live_time as f64 / c.evict_deaths.max(1) as f64
+                    ),
+                    c.mean_evict_dead_time()
+                        .map_or("n/a".to_owned(), |m| format!("{m:.0}")),
+                    c.mean_inval_live_time()
+                        .map_or("n/a".to_owned(), |m| format!("{m:.0}")),
+                    c.mean_inval_dead_time()
+                        .map_or("n/a".to_owned(), |m| format!("{m:.0}")),
+                ],
+                None => vec![
+                    mix.name().to_owned(),
+                    cores.to_string(),
+                    "n/a".to_owned(),
+                    "n/a".to_owned(),
+                    "n/a".to_owned(),
+                    "n/a".to_owned(),
+                    "n/a".to_owned(),
+                    "n/a".to_owned(),
+                ],
+            };
+            deaths.row(row);
+        }
+    }
+    format!(
+        "MESI compare: timekeeping quality across core counts\n\
+         (per-core budget {}; victim = dead-time filter, predictor = 8 KB\n\
+         correlation table, predict-only)\n\n\
+         Victim-filter and predictor quality:\n{}\n\
+         Generation deaths — replacement vs invalidation (victim-cache runs;\n\
+         invalidation ends a generation from outside, so its dead time is\n\
+         the coherence tax the single-core timekeeping model never sees):\n{}",
+        opts.instructions,
+        quality.render(),
+        deaths.render()
     )
 }
 

@@ -62,6 +62,8 @@ pub fn figure_manifest() -> Vec<(&'static str, FigureFn)> {
         ("fig20", figures::fig20),
         ("fig21", figures::fig21),
         ("fig22", figures::fig22),
+        ("fig22_mp", figures::fig22_mp),
+        ("mesi_compare", figures::mesi_compare),
         ("dram_compare", figures::dram_compare),
     ]
 }

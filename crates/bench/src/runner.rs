@@ -65,6 +65,12 @@ pub struct FigureOpts {
     /// `SystemConfig::builder()` in every figure picks it up; this field
     /// records the choice for manifests.
     pub sample: Option<tk_sim::SampleConfig>,
+    /// The `--cores=N` timing-core count (default 1, the single-core
+    /// paper machine). Like `--dram`, the parser also sets the
+    /// process-wide default (`tk_sim::set_default_cores`) so every
+    /// `SystemConfig::builder()` in every figure picks it up; multi-core
+    /// configs run the MESI-coherent hierarchy (`tk_sim::multicore`).
+    pub cores: u32,
 }
 
 impl FigureOpts {
@@ -90,6 +96,7 @@ impl FigureOpts {
             profile: false,
             dram: tk_sim::default_mem_backend(),
             sample: tk_sim::default_sample(),
+            cores: tk_sim::default_cores(),
         }
     }
 
@@ -212,6 +219,18 @@ impl FigureOpts {
                     opts.dram = backend;
                     tk_sim::set_default_mem_backend(backend);
                 }
+                "--cores" => {
+                    let v = value_of(flag, inline, &mut args)?;
+                    let n = parse_u64(flag, &v)?;
+                    if n == 0 || n > u64::from(tk_sim::MAX_CORES) {
+                        return Err(format!(
+                            "--cores must be between 1 and {}, got {n}",
+                            tk_sim::MAX_CORES
+                        ));
+                    }
+                    opts.cores = n as u32;
+                    tk_sim::set_default_cores(opts.cores);
+                }
                 "--sample" => {
                     // Bare `--sample` selects the default parameters
                     // rather than consuming the next argument (like
@@ -280,6 +299,9 @@ fn usage() -> String {
          \x20 --dram=BACKEND     memory model: fixed (default, the paper's\n\
          \x20                    constant latency) or banked[:ddr2|:ddr4]\n\
          \x20                    (row buffers, banks, channel buses)\n\
+         \x20 --cores=N          timing cores (default 1; 2..8 runs the\n\
+         \x20                    MESI-coherent multi-core hierarchy with\n\
+         \x20                    private L1s over the shared L2)\n\
          \x20 --sample[=I,K]     statistical sampling: split the budget into\n\
          \x20                    I-instruction intervals, k-means them into K\n\
          \x20                    clusters, time only the representatives with\n\
@@ -578,6 +600,38 @@ mod tests {
 
         tk_sim::set_default_sample(prev);
         assert_eq!(SystemConfig::base().sample, prev);
+    }
+
+    #[test]
+    fn cores_flag_sets_the_process_default() {
+        // Mutates the process-global default: save and restore, like
+        // dram_flag_sets_the_process_default_backend.
+        let prev = tk_sim::default_cores();
+
+        let (o, pos) = parse(&["--cores=4"]).unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(o.cores, 4);
+        assert_eq!(tk_sim::default_cores(), 4);
+        // Configs built after the flag carry the core count (and their
+        // cache keys gain the fragment).
+        let cfg = SystemConfig::base();
+        assert_eq!(cfg.cores, 4);
+        assert!(cfg.cache_key().contains("cores=4"));
+
+        // Space-separated form; cores=1 restores the single-core key.
+        let (o, _) = parse(&["--cores", "2"]).unwrap();
+        assert_eq!(o.cores, 2);
+        let (o, _) = parse(&["--cores=1"]).unwrap();
+        assert_eq!(o.cores, 1);
+        assert!(!SystemConfig::base().cache_key().contains("cores="));
+
+        // Out-of-range and malformed values surface as parse errors.
+        assert!(parse(&["--cores=0"]).unwrap_err().contains("between"));
+        assert!(parse(&["--cores=9"]).unwrap_err().contains("between"));
+        assert!(parse(&["--cores=two"]).is_err());
+        assert!(parse(&["--cores"]).is_err());
+
+        tk_sim::set_default_cores(prev);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub enum EvictCause {
     Prefetch,
     /// Evicted by external invalidation or end-of-simulation flush.
     Flush,
+    /// Killed by a coherence invalidation (another core claimed exclusive
+    /// ownership of the line, or an inclusive L2 eviction recalled it).
+    /// Distinguished from [`EvictCause::Demand`] so multi-core timekeeping
+    /// can separate eviction-death from invalidation-death.
+    Invalidate,
 }
 
 /// A completed cache-line generation and its timekeeping metrics.

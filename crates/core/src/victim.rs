@@ -486,6 +486,28 @@ impl VictimCache {
     #[inline(always)]
     fn debug_invariants(&self) {}
 
+    /// Whether `line` is buffered, without counting a probe or touching
+    /// LRU state. Coherence sharer discovery reads the buffer through
+    /// this; the demand miss path uses [`take`](VictimCache::take).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Removes `line` if buffered, returning whether it was present.
+    ///
+    /// Unlike [`take`](VictimCache::take) this counts neither a probe
+    /// nor a hit: it models a coherence invalidation (or an inclusive-L2
+    /// recall) snooping the buffer, not the L1 miss path probing it —
+    /// victim hit rates must reflect demand probes only.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(l, _)| l == line) {
+            self.entries.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Offers an eviction through `filter`; inserts it if admitted.
     /// Returns whether the victim was admitted.
     pub fn offer(&mut self, filter: &mut dyn VictimFilter, info: &EvictionInfo) -> bool {

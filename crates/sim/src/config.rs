@@ -1,8 +1,31 @@
 //! Simulated-machine configuration (Table 1 of the paper).
 
+use std::sync::atomic::{AtomicU32, Ordering};
+
 use timekeeping::{CacheGeometry, CorrelationConfig, DbcpConfig, MarkovConfig, StrideConfig};
 
 use crate::dram::{DramConfigError, MemBackendConfig};
+
+/// Largest `--cores` value the coherent hierarchy supports (the sharer
+/// set is a byte-wide bitmask).
+pub const MAX_CORES: u32 = 8;
+
+/// Process-wide default core count, seeded into every
+/// [`SystemConfig::builder`] call — the same one-flag-to-every-config
+/// pattern as `--dram` and `--sample`.
+static DEFAULT_CORES: AtomicU32 = AtomicU32::new(1);
+
+/// Sets the process-wide default core count (the `--cores` CLI flag).
+/// Values outside `1..=MAX_CORES` still surface as a [`ConfigError`] at
+/// the next `build()`, so a bad flag fails loudly rather than silently.
+pub fn set_default_cores(n: u32) {
+    DEFAULT_CORES.store(n, Ordering::SeqCst);
+}
+
+/// The process-wide default core count (1 unless `--cores` changed it).
+pub fn default_cores() -> u32 {
+    DEFAULT_CORES.load(Ordering::SeqCst)
+}
 
 /// Processor-core and memory-hierarchy parameters.
 ///
@@ -35,6 +58,13 @@ pub struct MachineConfig {
     /// `SystemConfig::memory` instead and ignore this field (except in
     /// the nominal prefetch-gate limits, which stay backend-independent
     /// by design).
+    #[deprecated(
+        since = "0.6.0",
+        note = "configure memory latency through `MemBackendConfig::Fixed` \
+                (SystemConfig::builder().memory(..)); this field survives \
+                only as the Fixed backend's latency source so existing \
+                cache keys stay byte-identical"
+    )]
     pub mem_latency: u64,
     /// L1/L2 bus occupancy per block transfer, in core cycles.
     /// 32-byte-wide at the 2 GHz core clock moving a 32 B L1 block: 1.
@@ -57,6 +87,7 @@ pub struct MachineConfig {
 
 impl MachineConfig {
     /// The Table 1 configuration.
+    #[allow(deprecated)] // seeds the Fixed-backend latency alias
     pub fn paper_default() -> Self {
         MachineConfig {
             issue_width: 8,
@@ -237,6 +268,18 @@ pub struct SystemConfig {
     /// proves it); this mode exists as the oracle for that proof and costs
     /// an order of magnitude of wall-clock time on memory-bound runs.
     pub step_every_cycle: bool,
+    /// Number of timing cores (1..=[`MAX_CORES`]).
+    ///
+    /// `1` (the default) runs the original single-core hierarchy
+    /// bit-exactly. `N > 1` instantiates N out-of-order cores with
+    /// private L1s and victim caches over a MESI-coherent shared L2
+    /// ([`crate::multicore`]): generations can then end by coherence
+    /// invalidation ([`timekeeping::EvictCause::Invalidate`]) as well as
+    /// by eviction. Multi-core runs support every victim-cache mode and
+    /// `predict_only` prefetcher scoring; decay, slack scheduling, the
+    /// cold-miss oracle, and *issuing* prefetchers are rejected at
+    /// `build()` because their timing machinery is single-core.
+    pub cores: u32,
 }
 
 /// A rejected [`SystemConfigBuilder`] combination.
@@ -267,6 +310,21 @@ pub enum ConfigError {
     /// The banked-DRAM geometry or timing is structurally invalid (see
     /// [`DramConfigError`] for the exact rule violated).
     InvalidDram(DramConfigError),
+    /// Zero timing cores simulate nothing.
+    ZeroCores,
+    /// More cores than [`MAX_CORES`]: the coherence directory tracks
+    /// sharers in a byte-wide bitmask.
+    TooManyCores,
+    /// `cores > 1` was combined with cache decay, slack prefetch
+    /// scheduling, or the cold-miss oracle L1 — mechanisms whose timing
+    /// machinery (the decay tick, the prefetch issue gate, the oracle
+    /// shadow) is single-core only.
+    MultiCoreWithMechanism,
+    /// `cores > 1` with a prefetcher that *issues* prefetches. Prefetch
+    /// issue timing (queue, gate, MSHRs) is single-core machinery;
+    /// multi-core runs must add `predict_only`, which still scores the
+    /// predictor's intrinsic coverage/accuracy under coherence traffic.
+    MultiCoreIssuingPrefetcher,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -289,6 +347,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDecayInterval => "decay interval must be nonzero",
             ConfigError::ZeroSampleInterval => "sampling interval must be nonzero",
             ConfigError::ZeroSampleK => "sampling cluster count (k) must be nonzero",
+            ConfigError::ZeroCores => "core count must be nonzero",
+            ConfigError::TooManyCores => "core count exceeds MAX_CORES (8)",
+            ConfigError::MultiCoreWithMechanism => {
+                "cores > 1 cannot be combined with cache decay, slack prefetch \
+                 scheduling, or the cold-miss oracle (single-core timing machinery)"
+            }
+            ConfigError::MultiCoreIssuingPrefetcher => {
+                "cores > 1 with a prefetcher requires predict_only (prefetch \
+                 issue timing is single-core machinery)"
+            }
             ConfigError::InvalidDram(_) => unreachable!("delegated to DramConfigError above"),
         };
         f.write_str(s)
@@ -407,6 +475,15 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the number of timing cores (default: the process-wide
+    /// `--cores` choice, which itself defaults to 1). See
+    /// [`SystemConfig::cores`] for the combinations `build()` accepts at
+    /// `n > 1`.
+    pub fn cores(mut self, n: u32) -> Self {
+        self.cfg.cores = n;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -448,6 +525,21 @@ impl SystemConfigBuilder {
         if let MemBackendConfig::Banked(b) = cfg.memory {
             crate::dram::validate(&b).map_err(ConfigError::InvalidDram)?;
         }
+        if cfg.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if cfg.cores > MAX_CORES {
+            return Err(ConfigError::TooManyCores);
+        }
+        if cfg.cores > 1 {
+            if cfg.decay_interval.is_some() || cfg.slack_prefetch || cfg.l1_mode == L1Mode::ColdOnly
+            {
+                return Err(ConfigError::MultiCoreWithMechanism);
+            }
+            if cfg.prefetch != PrefetchMode::None && !cfg.predict_only {
+                return Err(ConfigError::MultiCoreIssuingPrefetcher);
+            }
+        }
         Ok(cfg)
     }
 }
@@ -474,6 +566,8 @@ impl SystemConfig {
                 // Likewise for `--sample`: every figure binary's configs
                 // pick up the process-wide sampling choice.
                 sample: crate::sample::default_sample(),
+                // And for `--cores`.
+                cores: default_cores(),
             },
         }
     }
@@ -530,6 +624,7 @@ impl SystemConfig {
     /// which makes this the natural experiment-cache key; it is also
     /// stable across processes (unlike `std::hash::Hash`, whose output
     /// `HashMap` randomizes per process).
+    #[allow(deprecated)] // the machine fragment pins the Fixed-latency alias
     pub fn cache_key(&self) -> String {
         let m = &self.machine;
         let mut key = format!(
@@ -594,6 +689,13 @@ impl SystemConfig {
                 .map_or("none".to_owned(), |d| d.to_string()),
             self.slack_prefetch,
         ));
+        // Single-core runs (the default) leave the key untouched so every
+        // pre-existing memo/disk/golden key stays byte-identical;
+        // multi-core results live under a distinct fragment and can never
+        // alias a single-core entry.
+        if self.cores > 1 {
+            key.push_str(&format!(" cores={}", self.cores));
+        }
         // Fixed-latency memory contributes nothing: `mem_latency` is
         // already in the machine fragment, and an empty suffix keeps every
         // pre-existing memo/disk/golden key byte-identical. Banked configs
@@ -628,6 +730,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)] // pins the Fixed-latency alias field
     fn paper_defaults_match_table1() {
         let m = MachineConfig::paper_default();
         assert_eq!(m.issue_width, 8);
@@ -766,6 +869,124 @@ mod tests {
             })
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn single_core_leaves_cache_key_untouched() {
+        let base = SystemConfig::base();
+        assert_eq!(base.cores, 1);
+        assert!(!base.cache_key().contains("cores="));
+    }
+
+    #[test]
+    fn cores_fragment_fingerprints_the_cache_key() {
+        let mp = SystemConfig::builder().cores(4).build().unwrap();
+        let key = mp.cache_key();
+        // The cores fragment follows the mechanism block and precedes the
+        // memory/sample/step suffixes.
+        assert!(key.contains(" slack=false cores=4"), "{key}");
+        let stacked = SystemConfig::builder()
+            .cores(2)
+            .memory(MemBackendConfig::Banked(
+                crate::dram::BankedDramConfig::DDR4,
+            ))
+            .sample(SampleConfig {
+                interval: 500,
+                k: 3,
+            })
+            .step_every_cycle()
+            .build()
+            .unwrap();
+        let key = stacked.cache_key();
+        let cores = key.find(" cores=2").expect("cores fragment");
+        let dram = key.find(" dram=banked").expect("dram fragment");
+        let sample = key.find(" sample=").expect("sample fragment");
+        assert!(cores < dram && dram < sample, "{key}");
+        assert!(key.ends_with(" step_every_cycle=true"), "{key}");
+    }
+
+    #[test]
+    fn multi_core_rejects_single_core_mechanisms() {
+        assert_eq!(
+            SystemConfig::builder().cores(0).build().unwrap_err(),
+            ConfigError::ZeroCores
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .cores(MAX_CORES + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooManyCores
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .cores(2)
+                .decay(16_384)
+                .build()
+                .unwrap_err(),
+            ConfigError::MultiCoreWithMechanism
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .cores(2)
+                .oracle_l1()
+                .build()
+                .unwrap_err(),
+            ConfigError::MultiCoreWithMechanism
+        );
+        // An issuing prefetcher is rejected; predict-only scoring passes.
+        let tk = PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB);
+        assert_eq!(
+            SystemConfig::builder()
+                .cores(2)
+                .prefetch(tk)
+                .build()
+                .unwrap_err(),
+            ConfigError::MultiCoreIssuingPrefetcher
+        );
+        assert!(SystemConfig::builder()
+            .cores(2)
+            .prefetch(tk)
+            .predict_only()
+            .build()
+            .is_ok());
+        // Every victim mode is supported at N cores.
+        assert!(SystemConfig::builder()
+            .cores(4)
+            .victim(VictimMode::paper_dead_time())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)] // pins the alias-to-backend equivalence
+    fn deprecated_mem_latency_alias_keeps_cache_keys_identical() {
+        // The deprecated `MachineConfig::mem_latency` alias is still the
+        // Fixed backend's latency source: the base key pins it in the
+        // machine fragment, and writing through the alias is observable
+        // in the key exactly as it was before the deprecation.
+        let base = SystemConfig::base();
+        assert!(
+            base.cache_key().contains("lat=1/12/70,"),
+            "{}",
+            base.cache_key()
+        );
+        assert_eq!(
+            base.cache_key(),
+            SystemConfig::builder()
+                .memory(MemBackendConfig::Fixed)
+                .build()
+                .unwrap()
+                .cache_key(),
+            "an explicit Fixed backend must alias the default exactly"
+        );
+        let mut slow = base;
+        slow.machine.mem_latency = 140;
+        assert!(slow.cache_key().contains("lat=1/12/140,"));
+        assert_eq!(
+            slow.cache_key().replace("lat=1/12/140,", "lat=1/12/70,"),
+            base.cache_key()
+        );
     }
 
     #[test]

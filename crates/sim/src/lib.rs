@@ -46,6 +46,7 @@ pub mod core;
 pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
+pub mod multicore;
 pub mod obs;
 pub mod oracle;
 pub mod pipeline;
@@ -53,9 +54,10 @@ pub mod sample;
 pub mod system;
 pub mod trace;
 
+pub use bus::SnoopBus;
 pub use config::{
-    ConfigError, L1Mode, MachineConfig, PrefetchMode, SampleConfig, SystemConfig,
-    SystemConfigBuilder, VictimMode,
+    default_cores, set_default_cores, ConfigError, L1Mode, MachineConfig, PrefetchMode,
+    SampleConfig, SystemConfig, SystemConfigBuilder, VictimMode, MAX_CORES,
 };
 pub use core::{CoreStats, OooCore};
 pub use dram::{
@@ -63,6 +65,7 @@ pub use dram::{
     DramConfigError, DramStats, FixedLatency, MemBackend, MemBackendConfig, MemReply, RowOutcome,
 };
 pub use hierarchy::{AccessOutcome, HierarchyStats, MemorySystem};
+pub use multicore::{run_multicore, CoherenceStats, CoherentChecker, Mesi, MultiCoreSystem};
 pub use obs::{
     obs_config, set_obs_config, set_out_dir, set_profile, set_trace, set_trace_sample,
     trace_enabled, ObsConfig, ProfileReport, TraceCategories, TraceCategory, TraceKind,

@@ -47,7 +47,8 @@ use timekeeping::snapshot::{Json, Snapshot, SnapshotError};
 use timekeeping::{CacheGeometry, Cycle, EvictCause, Histogram, LineAddr, MissKind};
 
 use crate::pipeline::{
-    EvictEvent, FillEvent, HitEvent, LookupEvent, MemObserver, MissEvent, Reactions,
+    C2cEvent, EvictEvent, FillEvent, HitEvent, InvalidateEvent, LookupEvent, MemObserver,
+    MissEvent, Reactions, SnoopEvent,
 };
 
 // ---------------------------------------------------------------------------
@@ -77,11 +78,14 @@ pub enum TraceCategory {
     /// Statistical-sampling markers (sampled runs only): one record per
     /// representative interval entering timed simulation.
     Sample,
+    /// Coherence traffic (multi-core runs only): bus snoops,
+    /// invalidations, and cache-to-cache transfers.
+    Coherence,
 }
 
 impl TraceCategory {
     /// Every category, in presentation order.
-    pub const ALL: [TraceCategory; 9] = [
+    pub const ALL: [TraceCategory; 10] = [
         TraceCategory::Lookup,
         TraceCategory::Hit,
         TraceCategory::Miss,
@@ -91,6 +95,7 @@ impl TraceCategory {
         TraceCategory::Prefetch,
         TraceCategory::Dram,
         TraceCategory::Sample,
+        TraceCategory::Coherence,
     ];
 
     /// The canonical lowercase name (what `--trace=CATS` accepts).
@@ -105,6 +110,7 @@ impl TraceCategory {
             TraceCategory::Prefetch => "prefetch",
             TraceCategory::Dram => "dram",
             TraceCategory::Sample => "sample",
+            TraceCategory::Coherence => "coh",
         }
     }
 
@@ -119,6 +125,7 @@ impl TraceCategory {
             TraceCategory::Prefetch => 1 << 6,
             TraceCategory::Dram => 1 << 7,
             TraceCategory::Sample => 1 << 8,
+            TraceCategory::Coherence => 1 << 9,
         }
     }
 }
@@ -156,7 +163,8 @@ impl TraceCategories {
     }
 
     /// Parses a comma-separated category list (`"miss,fill,evict"`).
-    /// `"all"` selects everything; `"pf"` is an alias for `"prefetch"`.
+    /// `"all"` selects everything; `"pf"` is an alias for `"prefetch"`
+    /// and `"coherence"` for `"coh"`.
     ///
     /// # Errors
     ///
@@ -171,10 +179,11 @@ impl TraceCategories {
             if part == "all" {
                 return Ok(Self::all());
             }
-            let cat = TraceCategory::ALL
-                .iter()
-                .copied()
-                .find(|c| c.name() == part || (part == "pf" && *c == TraceCategory::Prefetch));
+            let cat = TraceCategory::ALL.iter().copied().find(|c| {
+                c.name() == part
+                    || (part == "pf" && *c == TraceCategory::Prefetch)
+                    || (part == "coherence" && *c == TraceCategory::Coherence)
+            });
             match cat {
                 Some(c) => out = out.with(c),
                 None => {
@@ -246,11 +255,21 @@ pub enum TraceKind {
     /// only; `line` = interval index, `aux` = cluster weight in
     /// intervals).
     SampleRep = 12,
+    /// A coherence bus transaction snooped by every core (multi-core
+    /// only; `aux` = requester core + kind×256: 0 BusRd, 1 BusRdX,
+    /// 2 upgrade).
+    Snoop = 13,
+    /// A line copy killed by coherence (multi-core only; `aux` = the
+    /// owning core that lost the copy).
+    Invalidate = 14,
+    /// A cache-to-cache transfer: a modified line supplied by its owner
+    /// (multi-core only; `aux` = from core + to core×256).
+    C2c = 15,
 }
 
 impl TraceKind {
     /// Every kind, indexable by its `u8` value.
-    pub const ALL: [TraceKind; 13] = [
+    pub const ALL: [TraceKind; 16] = [
         TraceKind::Lookup,
         TraceKind::Hit,
         TraceKind::Miss,
@@ -264,6 +283,9 @@ impl TraceKind {
         TraceKind::DramRead,
         TraceKind::DramWrite,
         TraceKind::SampleRep,
+        TraceKind::Snoop,
+        TraceKind::Invalidate,
+        TraceKind::C2c,
     ];
 
     /// The canonical name used in the JSONL encoding and summaries.
@@ -282,6 +304,9 @@ impl TraceKind {
             TraceKind::DramRead => "dram_read",
             TraceKind::DramWrite => "dram_write",
             TraceKind::SampleRep => "sample_rep",
+            TraceKind::Snoop => "snoop",
+            TraceKind::Invalidate => "invalidate",
+            TraceKind::C2c => "c2c",
         }
     }
 
@@ -299,6 +324,7 @@ impl TraceKind {
             }
             TraceKind::DramRead | TraceKind::DramWrite => TraceCategory::Dram,
             TraceKind::SampleRep => TraceCategory::Sample,
+            TraceKind::Snoop | TraceKind::Invalidate | TraceKind::C2c => TraceCategory::Coherence,
         }
     }
 
@@ -758,6 +784,7 @@ fn evict_cause_code(cause: EvictCause) -> u64 {
         EvictCause::Demand => 0,
         EvictCause::Prefetch => 1,
         EvictCause::Flush => 2,
+        EvictCause::Invalidate => 3,
     }
 }
 
@@ -789,6 +816,20 @@ impl MemObserver for TraceObserver {
         if let Some(rec) = &rx.generation {
             self.push(TraceKind::GenClose, ev.at, ev.line, rec.live_time);
         }
+    }
+
+    fn on_snoop(&mut self, ev: &SnoopEvent, _rx: &mut Reactions) {
+        let aux = u64::from(ev.requester) + ev.kind.code() * 256;
+        self.push(TraceKind::Snoop, ev.at, ev.line, aux);
+    }
+
+    fn on_invalidate(&mut self, ev: &InvalidateEvent, _rx: &mut Reactions) {
+        self.push(TraceKind::Invalidate, ev.at, ev.line, u64::from(ev.owner));
+    }
+
+    fn on_c2c(&mut self, ev: &C2cEvent, _rx: &mut Reactions) {
+        let aux = u64::from(ev.from) + u64::from(ev.to) * 256;
+        self.push(TraceKind::C2c, ev.at, ev.line, aux);
     }
 }
 

@@ -136,6 +136,72 @@ pub struct EvictEvent {
     pub at: Cycle,
 }
 
+/// The bus transaction class a snoop carries (multi-core runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceKind {
+    /// A read miss requesting a shared copy.
+    BusRd,
+    /// A write miss requesting an exclusive copy (invalidates sharers).
+    BusRdX,
+    /// A write hit on a shared copy claiming ownership without a data
+    /// transfer (invalidates the other sharers).
+    Upgrade,
+}
+
+impl CoherenceKind {
+    /// A stable numeric code for trace records (0 BusRd, 1 BusRdX,
+    /// 2 upgrade).
+    pub fn code(self) -> u64 {
+        match self {
+            CoherenceKind::BusRd => 0,
+            CoherenceKind::BusRdX => 1,
+            CoherenceKind::Upgrade => 2,
+        }
+    }
+}
+
+/// A coherence bus transaction observed by every core (multi-core runs).
+#[derive(Debug, Clone, Copy)]
+pub struct SnoopEvent {
+    /// The line the transaction names.
+    pub line: LineAddr,
+    /// The requesting core.
+    pub requester: u32,
+    /// The transaction class.
+    pub kind: CoherenceKind,
+    /// The cycle the bus granted the transaction.
+    pub at: Cycle,
+}
+
+/// A line copy killed by coherence (a [`SnoopEvent`] claiming exclusive
+/// ownership, or an inclusive-L2 back-invalidation).
+#[derive(Debug, Clone, Copy)]
+pub struct InvalidateEvent {
+    /// The invalidated line.
+    pub line: LineAddr,
+    /// The core that lost its copy.
+    pub owner: u32,
+    /// The L1 frame the copy occupied (`None` when the copy lived in the
+    /// victim cache).
+    pub frame: Option<usize>,
+    /// When the copy died.
+    pub at: Cycle,
+}
+
+/// A cache-to-cache transfer: a modified line supplied directly by its
+/// owning core instead of the L2/memory (multi-core runs).
+#[derive(Debug, Clone, Copy)]
+pub struct C2cEvent {
+    /// The transferred line.
+    pub line: LineAddr,
+    /// The core supplying its modified copy.
+    pub from: u32,
+    /// The requesting core.
+    pub to: u32,
+    /// The cycle the bus granted the transfer.
+    pub at: Cycle,
+}
+
 /// Per-event scratchpad through which observers hand results to each
 /// other and back to the emitting stage.
 #[derive(Debug, Default)]
@@ -180,6 +246,14 @@ pub trait MemObserver {
     fn on_evict(&mut self, _ev: &EvictEvent, _rx: &mut Reactions) {}
     /// The hierarchy level that serviced an L1 miss was determined.
     fn on_service(&mut self, _level: SimLevel) {}
+    /// A coherence bus transaction was granted (multi-core runs only;
+    /// single-core pipelines never emit this).
+    fn on_snoop(&mut self, _ev: &SnoopEvent, _rx: &mut Reactions) {}
+    /// A line copy was killed by coherence (multi-core runs only).
+    fn on_invalidate(&mut self, _ev: &InvalidateEvent, _rx: &mut Reactions) {}
+    /// A modified line was supplied cache-to-cache (multi-core runs
+    /// only).
+    fn on_c2c(&mut self, _ev: &C2cEvent, _rx: &mut Reactions) {}
 }
 
 /// One entry in the optional pipeline event log (see
@@ -589,6 +663,7 @@ pub(crate) struct PendingPf {
 /// gates themselves and the event computation that predicts when they
 /// open ([`MemorySystem::next_event`]) — one source of truth, so the two
 /// cannot drift.
+#[allow(deprecated)] // nominal gate limits stay backend-independent by design
 fn pf_gate_limits(m: &MachineConfig) -> (u64, u64, u64) {
     (
         // L1/L2 bus: one L2 round-trip of backlog is tolerated.

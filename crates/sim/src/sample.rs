@@ -906,6 +906,7 @@ fn run_rep<W: Workload + ?Sized>(
         pf_queue_discards: mem.pf_queue_discards(),
         dram: mem.dram_stats(),
         sampled: None,
+        coherence: None,
         metrics: std::mem::take(mem.metrics_mut()),
     }
 }
@@ -1046,6 +1047,7 @@ impl Aggregate {
             pf_queue_discards: self.pf_queue_discards,
             dram: self.dram,
             sampled: Some(stats),
+            coherence: None,
         }
     }
 }

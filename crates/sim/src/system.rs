@@ -39,6 +39,8 @@ pub struct RunResult {
     /// configurations where sampling was requested but fell back to full
     /// simulation — the absence of this tag is the fallback signal).
     pub sampled: Option<crate::sample::SampleStats>,
+    /// Coherence-plane counters (`Some` exactly when `cores > 1`).
+    pub coherence: Option<crate::multicore::CoherenceStats>,
 }
 
 impl RunResult {
@@ -91,6 +93,11 @@ impl Snapshot for RunResult {
                 map.insert("sampled".to_owned(), s.to_json());
             }
         }
+        if let Some(c) = &self.coherence {
+            if let Json::Obj(map) = &mut obj {
+                map.insert("coherence".to_owned(), c.to_json());
+            }
+        }
         obj
     }
 
@@ -119,6 +126,10 @@ impl Snapshot for RunResult {
             sampled: match v.get("sampled") {
                 Err(_) | Ok(Json::Null) => None,
                 Ok(other) => Some(crate::sample::SampleStats::from_json(other)?),
+            },
+            coherence: match v.get("coherence") {
+                Err(_) | Ok(Json::Null) => None,
+                Ok(other) => Some(crate::multicore::CoherenceStats::from_json(other)?),
             },
         })
     }
@@ -149,6 +160,12 @@ pub fn run_workload<W: Workload + ?Sized>(
     instructions: u64,
 ) -> RunResult {
     let checked = crate::oracle::lockstep_check_enabled();
+    if cfg.cores > 1 {
+        // Multi-core configurations run the MESI-coherent hierarchy.
+        // Statistical sampling is ignored there; the missing `sampled`
+        // tag is the standard fallback signal.
+        return crate::multicore::run_multicore(workload, cfg, instructions, checked);
+    }
     if let Some(sc) = cfg.sample {
         if crate::oracle::FunctionalOracle::supports(&cfg) {
             if let Some(r) = crate::sample::run_sampled(workload, cfg, sc, instructions, checked) {
@@ -176,6 +193,9 @@ pub fn run_workload_checked<W: Workload + ?Sized>(
     cfg: SystemConfig,
     instructions: u64,
 ) -> RunResult {
+    if cfg.cores > 1 {
+        return crate::multicore::run_multicore(workload, cfg, instructions, true);
+    }
     if let Some(sc) = cfg.sample {
         if crate::oracle::FunctionalOracle::supports(&cfg) {
             if let Some(r) = crate::sample::run_sampled(workload, cfg, sc, instructions, true) {
@@ -245,6 +265,7 @@ impl SimSystem {
             pf_queue_discards: mem.pf_queue_discards(),
             dram: mem.dram_stats(),
             sampled: None,
+            coherence: None,
             metrics: std::mem::take(mem.metrics_mut()),
         }
     }

@@ -82,6 +82,18 @@ pub trait Workload {
     fn fork(&self) -> Option<Box<dyn Workload>> {
         None
     }
+
+    /// Splits this workload into `cores` independent per-core instruction
+    /// streams for a multi-core run ([`crate::multicore`]).
+    ///
+    /// The default is "rate mode": every core runs an identical
+    /// [`fork`](Workload::fork) of this stream, which maximizes sharing
+    /// and therefore coherence traffic. Heterogeneous mixes (one program
+    /// per core) override this — see `ConcurrentMix` in `tk-workloads`.
+    /// Returns `None` when the source cannot be duplicated.
+    fn per_core_streams(&self, cores: u32) -> Option<Vec<Box<dyn Workload>>> {
+        (0..cores).map(|_| self.fork()).collect()
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -95,6 +107,10 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn fork(&self) -> Option<Box<dyn Workload>> {
         (**self).fork()
+    }
+
+    fn per_core_streams(&self, cores: u32) -> Option<Vec<Box<dyn Workload>>> {
+        (**self).per_core_streams(cores)
     }
 }
 

@@ -32,7 +32,7 @@ pub mod rng;
 pub mod spec;
 pub mod tracefile;
 
-pub use multiprog::Multiprogrammed;
+pub use multiprog::{ConcurrentMix, Multiprogrammed};
 pub use profile::{Burstiness, SwPrefetchPolicy, SyntheticWorkload};
 pub use rng::Rng;
 pub use spec::{BenchGroup, SpecBenchmark};

@@ -106,6 +106,131 @@ impl Workload for Multiprogrammed {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| w.fork())
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(Multiprogrammed {
+            name: self.name.clone(),
+            workloads,
+            quantum: self.quantum,
+            current: self.current,
+            left_in_quantum: self.left_in_quantum,
+            switches: self.switches,
+        }))
+    }
+}
+
+/// A true concurrent mix: one member program per core.
+///
+/// Where [`Multiprogrammed`] time-slices programs on one core (the
+/// Mendelson multitasking model), `ConcurrentMix` runs them *at the same
+/// time* on a multi-core hierarchy: [`per_core_streams`] hands core `c`
+/// an independent stream of member `c % members`, so a 2-program mix on
+/// 4 cores runs two copies of each — sharing the L2 and, when members
+/// touch common regions, exercising the MESI protocol. This is the
+/// workload behind the `fig22_mp` figure.
+///
+/// Run on a single core it degrades gracefully to instruction-grained
+/// round-robin interleaving (quantum 1), keeping the name usable in
+/// `--cores=1` baselines.
+///
+/// [`per_core_streams`]: Workload::per_core_streams
+///
+/// # Examples
+///
+/// ```
+/// use tk_workloads::{ConcurrentMix, SpecBenchmark};
+/// use tk_sim::trace::Workload;
+///
+/// let mix = ConcurrentMix::new(vec![
+///     Box::new(SpecBenchmark::Gzip.build(1)),
+///     Box::new(SpecBenchmark::Swim.build(1)),
+/// ]);
+/// assert_eq!(mix.name(), "cmix[gzip+swim]");
+/// let streams = mix.per_core_streams(4).unwrap();
+/// assert_eq!(streams.len(), 4);
+/// assert_eq!(streams[0].name(), "gzip");
+/// assert_eq!(streams[1].name(), "swim");
+/// assert_eq!(streams[2].name(), "gzip");
+/// ```
+pub struct ConcurrentMix {
+    name: String,
+    members: Vec<Box<dyn Workload>>,
+    current: usize,
+}
+
+impl std::fmt::Debug for ConcurrentMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentMix")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConcurrentMix {
+    /// Creates a mix of `members`, one per core (cycling when there are
+    /// more cores than members).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Workload>>) -> Self {
+        assert!(!members.is_empty(), "need at least one member");
+        let name = format!(
+            "cmix[{}]",
+            members
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        ConcurrentMix {
+            name,
+            members,
+            current: 0,
+        }
+    }
+
+    /// Number of member programs.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Workload for ConcurrentMix {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.current;
+        self.current = (self.current + 1) % self.members.len();
+        self.members[i].next_instr()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        let members = self
+            .members
+            .iter()
+            .map(|w| w.fork())
+            .collect::<Option<Vec<_>>>()?;
+        Some(Box::new(ConcurrentMix {
+            name: self.name.clone(),
+            members,
+            current: self.current,
+        }))
+    }
+
+    fn per_core_streams(&self, cores: u32) -> Option<Vec<Box<dyn Workload>>> {
+        (0..cores as usize)
+            .map(|c| self.members[c % self.members.len()].fork())
+            .collect()
+    }
 }
 
 #[cfg(test)]

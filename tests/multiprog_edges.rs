@@ -1,0 +1,152 @@
+//! Quantum-boundary edges of [`Multiprogrammed`] scheduling under shared
+//! caches, pinned as executable documentation of today's semantics.
+//!
+//! A context switch is an *instruction-stream* event: the scheduler
+//! rotates programs every `quantum` instructions fetched, but the memory
+//! system keeps no notion of which program owns an outstanding miss or
+//! an in-flight prefetch. A miss issued in program A's last quantum slot
+//! completes (and trains predictors, fills frames, extends generations)
+//! while program B runs; a timekeeping prefetch triggered by A's access
+//! lands in the shared hierarchy regardless of who is scheduled when it
+//! arrives. These tests pin that behavior — deterministic, clock-
+//! schedule-independent, and oracle-consistent — so any future move to
+//! ownership-aware switching shows up as an explicit golden change, not
+//! a silent drift.
+
+use timekeeping::snapshot::Snapshot;
+use tk_bench::FigureOpts;
+use tk_sim::{
+    run_workload, run_workload_checked, PrefetchMode, RunResult, SystemConfig, VictimMode,
+};
+use tk_workloads::{Multiprogrammed, SpecBenchmark};
+
+/// A fresh two-program mix (pointer-chasing + streaming: the pair with
+/// the most outstanding-miss overlap) at the given quantum.
+fn mix(quantum: u64) -> Multiprogrammed {
+    Multiprogrammed::new(
+        vec![
+            Box::new(SpecBenchmark::Mcf.build(1)),
+            Box::new(SpecBenchmark::Swim.build(1)),
+        ],
+        quantum,
+    )
+}
+
+fn run(quantum: u64, cfg: SystemConfig, instructions: u64) -> RunResult {
+    run_workload(&mut mix(quantum), cfg, instructions)
+}
+
+/// A quantum far below the memory latency forces every context switch to
+/// land while misses are outstanding. The run must stay bit-identical
+/// across repeats: miss completion is keyed to the access that issued
+/// it, not to the program scheduled at completion time.
+#[test]
+fn context_switch_mid_miss_is_deterministic() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for quantum in [1, 7, 100] {
+        let a = run(quantum, SystemConfig::base(), budget);
+        let b = run(quantum, SystemConfig::base(), budget);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "quantum {quantum} repeat diverged"
+        );
+        assert_eq!(a.core.instructions, budget);
+    }
+}
+
+/// The hopping clock may schedule a descheduled program's miss
+/// completion on a cycle it would otherwise skip; per-cycle stepping
+/// visits every cycle. Both must agree bit-exactly even at quantum 1
+/// (a switch between every pair of instructions).
+#[test]
+fn switch_mid_miss_is_clock_schedule_independent() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for quantum in [1, 64] {
+        let cfg = SystemConfig::base();
+        let mut step_cfg = cfg;
+        step_cfg.step_every_cycle = true;
+        let hop = run(quantum, cfg, budget);
+        let step = run(quantum, step_cfg, budget);
+        assert_eq!(
+            hop.to_json(),
+            step.to_json(),
+            "quantum {quantum} hop/step diverged"
+        );
+    }
+}
+
+/// An in-flight timekeeping prefetch triggered by one program arrives
+/// while another is scheduled. Today the prefetch still fills the shared
+/// hierarchy and counts toward the issuing predictor's stats — there is
+/// no per-program squash at the quantum boundary. Pin both the arrival
+/// accounting and its determinism.
+#[test]
+fn inflight_prefetch_survives_descheduling() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    let cfg = SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
+        timekeeping::CorrelationConfig::PAPER_8KB,
+    ));
+    // Quantum 16 is far below the prefetch arrival latency: most
+    // arrivals land under a different program than their trigger.
+    let a = run(16, cfg, budget);
+    assert!(
+        a.hierarchy.pf_fills > 0,
+        "mix must actually exercise prefetch arrivals across switches"
+    );
+    let b = run(16, cfg, budget);
+    assert_eq!(a.to_json(), b.to_json(), "prefetch mix repeat diverged");
+
+    let mut step_cfg = cfg;
+    step_cfg.step_every_cycle = true;
+    let step = run(16, step_cfg, budget);
+    assert_eq!(
+        a.to_json(),
+        step.to_json(),
+        "prefetch arrivals under descheduled owner diverged hop vs step"
+    );
+}
+
+/// The functional oracle tracks the shared tag state with no notion of
+/// programs at all; lockstep must hold across quantum boundaries,
+/// including with a victim cache swapping lines between programs'
+/// generations.
+#[test]
+fn quantum_boundaries_hold_oracle_lockstep() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for cfg in [
+        SystemConfig::base(),
+        SystemConfig::with_victim(VictimMode::paper_dead_time()),
+    ] {
+        let r = run_workload_checked(&mut mix(5), cfg, budget);
+        assert_eq!(r.core.instructions, budget);
+    }
+}
+
+/// Scheduler bookkeeping at the edges: with a budget deliberately
+/// misaligned to the quantum, the final partial quantum still retires
+/// every instruction, and the rotation count covers at least the
+/// retired stream (the core fetches ahead of retirement, so it may
+/// rotate past the last retired instruction — pinned as exactly
+/// reproducible rather than exactly computable).
+#[test]
+fn partial_final_quantum_retires_fully() {
+    let quantum = 333; // does not divide the budget
+    let budget = 10_000;
+    let mut w = mix(quantum);
+    let r = run_workload(&mut w, SystemConfig::base(), budget);
+    assert_eq!(r.core.instructions, budget);
+    assert!(
+        w.switches() >= (budget - 1) / quantum,
+        "rotations must cover the retired stream: {} switches",
+        w.switches()
+    );
+    let mut again = mix(quantum);
+    let _ = run_workload(&mut again, SystemConfig::base(), budget);
+    assert_eq!(w.switches(), again.switches(), "rotation count must repeat");
+    assert_eq!(
+        w.current(),
+        again.current(),
+        "final schedule slot must repeat"
+    );
+}

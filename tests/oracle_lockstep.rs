@@ -110,3 +110,74 @@ fn cold_only_mode_runs_unchecked() {
     let r = run_workload_checked(&mut w, SystemConfig::ideal(), 50_000);
     assert_eq!(r.core.instructions, 50_000);
 }
+
+/// Multi-core configs route through [`tk_sim::multicore`]'s
+/// `CoherentChecker`: a timing-free MESI mirror that independently
+/// derives the service level (L1, victim cache, cache-to-cache, L2,
+/// memory) and the invalidation set of every access. Rate mode (N forks
+/// of one benchmark) maximizes sharing; the banked backend changes
+/// completion times but never the coherent state the mirror tracks.
+#[test]
+fn multicore_configs() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for cores in [2u32, 4] {
+        let cfgs = [
+            SystemConfig::builder()
+                .cores(cores)
+                .build()
+                .expect("multi-core base config is valid"),
+            SystemConfig::builder()
+                .cores(cores)
+                .victim(VictimMode::paper_dead_time())
+                .build()
+                .expect("multi-core victim config is valid"),
+            SystemConfig::builder()
+                .cores(cores)
+                .memory(tk_sim::MemBackendConfig::Banked(
+                    tk_sim::BankedDramConfig::DDR4,
+                ))
+                .victim(VictimMode::paper_dead_time())
+                .prefetch(PrefetchMode::Timekeeping(
+                    timekeeping::CorrelationConfig::PAPER_8KB,
+                ))
+                .predict_only()
+                .build()
+                .expect("multi-core banked config is valid"),
+        ];
+        for cfg in cfgs {
+            for b in [SpecBenchmark::Mcf, SpecBenchmark::Gzip] {
+                // The budget is per core; the result aggregates over cores.
+                let r = run_workload_checked(&mut b.build(1), cfg, budget);
+                assert_eq!(
+                    r.core.instructions,
+                    budget * u64::from(cores),
+                    "{} at {cores} cores",
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+/// Heterogeneous concurrent mixes under the checker: distinct per-core
+/// streams exercise asymmetric sharing (one core's upgrades invalidate
+/// another's read-only copies) that rate mode cannot produce.
+#[test]
+fn multicore_mix_checked() {
+    use tk_sim::run_workload_checked;
+    use tk_workloads::ConcurrentMix;
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for cores in [2u32, 4] {
+        let mut mix = ConcurrentMix::new(vec![
+            Box::new(SpecBenchmark::Twolf.build(1)),
+            Box::new(SpecBenchmark::Art.build(1)),
+        ]);
+        let cfg = SystemConfig::builder()
+            .cores(cores)
+            .victim(VictimMode::paper_dead_time())
+            .build()
+            .expect("multi-core mix config is valid");
+        let r = run_workload_checked(&mut mix, cfg, budget);
+        assert_eq!(r.core.instructions, budget * u64::from(cores));
+    }
+}

@@ -162,3 +162,86 @@ fn pointer_chasing_chain_stalls() {
         assert_equivalent(b, cfg, FigureOpts::QUICK_INSTRUCTIONS);
     }
 }
+
+/// Builds the multi-core config matrix for one core count: base, victim
+/// cache (coherent swap path), predict-only timekeeping (the only
+/// prefetcher form legal past one core) and the banked-DDR4 + victim
+/// composition, which layers variable DRAM completions under snoop
+/// traffic.
+fn multicore_cfgs(cores: u32) -> Vec<SystemConfig> {
+    vec![
+        SystemConfig::builder()
+            .cores(cores)
+            .build()
+            .expect("multi-core base config is valid"),
+        SystemConfig::builder()
+            .cores(cores)
+            .victim(VictimMode::paper_dead_time())
+            .build()
+            .expect("multi-core victim config is valid"),
+        SystemConfig::builder()
+            .cores(cores)
+            .prefetch(PrefetchMode::Timekeeping(
+                timekeeping::CorrelationConfig::PAPER_8KB,
+            ))
+            .predict_only()
+            .build()
+            .expect("multi-core predict-only config is valid"),
+        SystemConfig::builder()
+            .cores(cores)
+            .memory(MemBackendConfig::Banked(BankedDramConfig::DDR4))
+            .victim(VictimMode::paper_dead_time())
+            .build()
+            .expect("multi-core banked config is valid"),
+    ]
+}
+
+/// Multi-core rate mode: every core runs a fork of the same benchmark,
+/// so all sharing comes from identical reference streams hitting the
+/// shared L2. The hopping clock's wake rule (minimum over unfinished
+/// cores of window-front retirement and chain-ready stalls) must visit
+/// every cycle a snoop, invalidation or cache-to-cache transfer lands
+/// on.
+#[test]
+fn multicore_rate_mode() {
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    for cores in [2, 4] {
+        for cfg in multicore_cfgs(cores) {
+            for b in [SpecBenchmark::Mcf, SpecBenchmark::Swim] {
+                assert_equivalent(b, cfg, budget);
+            }
+        }
+    }
+}
+
+/// Multi-core heterogeneous mixes: distinct benchmarks per core produce
+/// asymmetric finish times, so late-running cores hop across cycles
+/// where finished cores no longer pin the clock. The full `RunResult`
+/// (including the coherence block) must still compare bit-equal.
+#[test]
+fn multicore_heterogeneous_mixes() {
+    use tk_workloads::ConcurrentMix;
+    let budget = FigureOpts::QUICK_INSTRUCTIONS / 4;
+    let mix = |seed: u64| {
+        ConcurrentMix::new(vec![
+            Box::new(SpecBenchmark::Gzip.build(seed)),
+            Box::new(SpecBenchmark::Swim.build(seed)),
+            Box::new(SpecBenchmark::Mcf.build(seed)),
+            Box::new(SpecBenchmark::Art.build(seed)),
+        ])
+    };
+    for cores in [2, 4] {
+        for cfg in multicore_cfgs(cores) {
+            let mut step_cfg = cfg;
+            step_cfg.step_every_cycle = true;
+            let hop = run_workload(&mut mix(1), cfg, budget);
+            let step = run_workload(&mut mix(1), step_cfg, budget);
+            assert_eq!(
+                hop.to_json(),
+                step.to_json(),
+                "mix RunResult diverged at {cores} cores under {}",
+                cfg.cache_key()
+            );
+        }
+    }
+}
