@@ -1,0 +1,31 @@
+//! Temporary review probe: c2c owner-side LRU behavior vs the checker
+//! mirror with a 2-way associative L1.
+
+use timekeeping::{Addr, CacheGeometry, Cycle, Pc};
+use tk_sim::trace::MemRef;
+use tk_sim::{MachineConfig, MultiCoreSystem, SystemConfig};
+
+#[test]
+fn c2c_owner_lru_matches_checker_with_assoc_l1() {
+    let mut machine = MachineConfig::paper_default();
+    machine.l1d = CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+    let cfg = SystemConfig::builder()
+        .machine(machine)
+        .cores(2)
+        .build()
+        .unwrap();
+    let mut sys = MultiCoreSystem::new(cfg);
+    sys.install_checker();
+
+    let a = MemRef::new(Addr::new(0), Pc::new(4)); // set 0
+    let x = MemRef::new(Addr::new(16 * 1024), Pc::new(4)); // same set, other way
+    let y = MemRef::new(Addr::new(32 * 1024), Pc::new(4)); // same set, third line
+
+    // Core 1: store A (M, MRU), then load X (X MRU, A LRU).
+    sys.access(1, &a, true, Cycle::new(0));
+    sys.access(1, &x, false, Cycle::new(200));
+    // Core 0: load A -> c2c from core 1.
+    sys.access(0, &a, false, Cycle::new(400));
+    // Core 1: load Y -> set full, must evict its LRU way.
+    sys.access(1, &y, false, Cycle::new(600));
+}
