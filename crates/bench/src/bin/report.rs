@@ -53,12 +53,14 @@ fn main() {
     ];
 
     engine::record_jobs(true);
+    tk_sim::record_checkpoints(true);
     for (name, job) in jobs {
         eprintln!(
             "generating {name} ({} instructions/run, {} workers)...",
             opts.instructions, opts.jobs
         );
         let before = engine::memo_stats();
+        let ckpt_before = manifest::ckpt_snapshot();
         let started = Instant::now();
         let text = job(opts);
         let wall = started.elapsed();
@@ -67,10 +69,12 @@ fn main() {
         let ran = engine::take_recorded_jobs();
         let (m, d, s) = engine::memo_stats();
         let delta = (m - before.0, d - before.1, s - before.2);
-        manifest::write_manifest(&dir, name, &opts, wall, &ran, delta)
+        let ckpt = manifest::CkptDelta::since(ckpt_before);
+        manifest::write_manifest(&dir, name, &opts, wall, &ran, delta, &ckpt)
             .unwrap_or_else(|e| panic!("write manifest for {name}: {e}"));
     }
     engine::record_jobs(false);
+    tk_sim::record_checkpoints(false);
     let (memo_hits, disk_hits, sims) = engine::memo_stats();
     eprintln!(
         "done: reports in {} ({sims} simulations run, {memo_hits} memo hits, {disk_hits} disk hits)",

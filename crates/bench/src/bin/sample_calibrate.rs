@@ -32,6 +32,7 @@
 //! memo: it measures error, not speed, and memoization keeps the grid
 //! affordable.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use timekeeping::snapshot::Json;
@@ -196,6 +197,7 @@ fn candidate_points(budget: u64) -> Vec<(&'static str, SampleConfig)> {
 /// Error band of one figure's job set at one operating point: geomean
 /// miss-rate error (pp), geomean relative IPC error (%), and how many
 /// jobs fell back to full simulation (configs sampling declines).
+#[derive(Clone)]
 struct Band {
     gm_miss_pp: f64,
     gm_ipc_pct: f64,
@@ -262,6 +264,11 @@ fn figure_bands(opts: &FigureOpts) -> Vec<Json> {
     }
     println!(" | chosen");
 
+    // Figures sharing one job set (the base machine across benchmarks,
+    // mostly) have identical bands by construction: evaluate each
+    // distinct set once and reuse the result, keyed by the sorted job
+    // cache keys.
+    let mut evaluated: HashMap<String, (String, Vec<Band>, String)> = HashMap::new();
     let mut rows = Vec::new();
     for (name, generate) in golden::figure_manifest() {
         // Capture the figure's distinct jobs by running it with the
@@ -276,32 +283,44 @@ fn figure_bands(opts: &FigureOpts) -> Vec<Json> {
             continue;
         }
 
-        let bands: Vec<Band> = candidates
-            .iter()
-            .map(|&(_, sc)| band_at(&jobs, sc, opts.jobs))
-            .collect();
-        // Coarsest point inside the suite gate wins; a figure where even
-        // the finest point misses the gate must run unsampled.
-        let chosen = bands
-            .iter()
-            .position(|b| b.gm_miss_pp <= MISS_RATE_GATE_PP)
-            .map_or("full".to_owned(), |i| {
-                let (label, sc) = &candidates[i];
-                format!("{label} ({},{})", sc.interval, sc.k)
-            });
+        let mut signature: Vec<String> = jobs.iter().map(engine::Job::cache_key).collect();
+        signature.sort();
+        let signature = signature.join(";");
+        let shared_with = evaluated.get(&signature).map(|(first, ..)| first.clone());
+        if shared_with.is_none() {
+            let bands: Vec<Band> = candidates
+                .iter()
+                .map(|&(_, sc)| band_at(&jobs, sc, opts.jobs))
+                .collect();
+            // Coarsest point inside the suite gate wins; a figure where
+            // even the finest point misses the gate must run unsampled.
+            let chosen = bands
+                .iter()
+                .position(|b| b.gm_miss_pp <= MISS_RATE_GATE_PP)
+                .map_or("full".to_owned(), |i| {
+                    let (label, sc) = &candidates[i];
+                    format!("{label} ({},{})", sc.interval, sc.k)
+                });
+            evaluated.insert(signature.clone(), (name.to_owned(), bands, chosen));
+        }
+        let (_, bands, chosen) = &evaluated[&signature];
 
         print!("{name:14} {:>5}", jobs.len());
-        for b in &bands {
+        for b in bands {
             print!(" | {:6.3}pp {:5.2}%", b.gm_miss_pp, b.gm_ipc_pct);
             if b.fallbacks > 0 {
                 print!(" ({} full)", b.fallbacks);
             }
         }
-        println!(" | {chosen}");
+        print!(" | {chosen}");
+        match &shared_with {
+            Some(first) => println!("  (job set = {first}; bands reused)"),
+            None => println!(),
+        }
 
         let band_rows: Vec<Json> = candidates
             .iter()
-            .zip(&bands)
+            .zip(bands)
             .map(|((label, sc), b)| {
                 Json::obj([
                     ("point", Json::Str((*label).to_owned())),
@@ -313,12 +332,18 @@ fn figure_bands(opts: &FigureOpts) -> Vec<Json> {
                 ])
             })
             .collect();
-        rows.push(Json::obj([
+        let mut row = vec![
             ("figure", Json::Str(name.to_owned())),
             ("jobs", Json::U64(jobs.len() as u64)),
             ("bands", Json::Arr(band_rows)),
-            ("chosen", Json::Str(chosen)),
-        ]));
+            ("chosen", Json::Str(chosen.clone())),
+        ];
+        if let Some(first) = shared_with {
+            row.push(("bands_shared_with", Json::Str(first)));
+        }
+        rows.push(Json::Obj(
+            row.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        ));
     }
     rows
 }

@@ -21,6 +21,14 @@
 //!   budgets skips straight to rendering. Files carry the full job key
 //!   and are ignored (and rewritten) on any mismatch. Delete the
 //!   directory to invalidate.
+//! * **Checkpoint sharding** — sampled jobs that share a functional
+//!   fingerprint (same instruction stream, geometry and sampling
+//!   parameters; timing knobs free) reuse one profiled/clustered/warmed
+//!   [`SampleCheckpoint`] from `tk_sim`'s
+//!   two-tier store, and each job's timed representatives become
+//!   independent work units on the same pool. Shard results merge in
+//!   the checkpoint's fixed order, so the schedule cannot affect the
+//!   output: a sharded run is bit-identical to `Job::simulate`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -28,7 +36,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use timekeeping::snapshot::{Json, Snapshot};
-use tk_sim::{run_workload, RunResult, SystemConfig};
+use tk_sim::{run_workload, RunResult, SampleCheckpoint, SystemConfig};
 use tk_workloads::SpecBenchmark;
 
 /// One independent simulation: the result is a pure function of this
@@ -247,24 +255,39 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
         }
     }
 
-    // Fan the pending simulations across the pool. Each slot is written
-    // by exactly one worker; job order in `pending` fixes which result
-    // goes where, so the pool size cannot affect the output.
-    let results: Vec<Mutex<Option<RunResult>>> = pending.iter().map(|_| Mutex::new(None)).collect();
-    let workers = workers.max(1).min(pending.len().max(1));
-    if workers <= 1 {
-        for (job, slot) in pending.iter().zip(&results) {
-            *slot.lock().expect("slot poisoned") = Some(job.simulate());
+    // Plan the batch's checkpoint plane: group sampled jobs by
+    // functional fingerprint, materialize each distinct checkpoint once,
+    // and split those jobs into per-representative timing shards.
+    let workers = workers.max(1);
+    let plan = plan_checkpoints(&pending, workers);
+    let units = plan.units(&pending);
+
+    // Fan the work units across the pool. Each slot is written by
+    // exactly one worker; unit order is fixed by `pending` order and
+    // shard index, so the pool size cannot affect the output.
+    let checked = tk_sim::lockstep_check_enabled();
+    let unit_results: Vec<Mutex<Option<RunResult>>> =
+        units.iter().map(|_| Mutex::new(None)).collect();
+    let run_unit = |u: &Unit| match *u {
+        Unit::Whole(j) => pending[j].simulate(),
+        Unit::Shard { job, ckpt, shard } => {
+            tk_sim::run_shard(&plan.ckpts[ckpt], pending[job].cfg, shard, checked)
+        }
+    };
+    let pool = workers.min(units.len().max(1));
+    if pool <= 1 {
+        for (u, slot) in units.iter().zip(&unit_results) {
+            *slot.lock().expect("slot poisoned") = Some(run_unit(u));
         }
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..pool {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = pending.get(i) else { break };
-                    let r = job.simulate();
-                    *results[i].lock().expect("slot poisoned") = Some(r);
+                    let Some(u) = units.get(i) else { break };
+                    let r = run_unit(u);
+                    *unit_results[i].lock().expect("slot poisoned") = Some(r);
                 });
             }
         });
@@ -272,14 +295,27 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
     e.sims_run
         .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
+    // Reassemble sharded jobs — always in the checkpoint's fixed shard
+    // order, regardless of which worker timed which shard when.
+    let mut per_job: Vec<Vec<RunResult>> = (0..pending.len()).map(|_| Vec::new()).collect();
+    for (u, slot) in units.iter().zip(unit_results) {
+        let r = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("worker ran");
+        match *u {
+            Unit::Whole(j) | Unit::Shard { job: j, .. } => per_job[j].push(r),
+        }
+    }
+
     // Publish the new results, then answer the batch in order.
     {
         let mut memo = e.memo.lock().expect("memo poisoned");
-        for (job, slot) in pending.iter().zip(results) {
-            let r = slot
-                .into_inner()
-                .expect("slot poisoned")
-                .expect("worker ran");
+        for (j, (job, mut rs)) in pending.iter().zip(per_job).enumerate() {
+            let r = match plan.assignment[j] {
+                Some(c) => tk_sim::assemble_shards(&plan.ckpts[c], &rs),
+                None => rs.pop().expect("whole job ran"),
+            };
             if let Some(dir) = disk_dir.as_deref() {
                 disk_store(dir, &job.cache_key(), &r);
             }
@@ -290,6 +326,130 @@ pub fn run_jobs(jobs: &[Job], workers: usize) -> Vec<Arc<RunResult>> {
     jobs.iter()
         .map(|job| Arc::clone(memo.get(job).expect("job resolved")))
         .collect()
+}
+
+/// One schedulable piece of a batch: a whole simulation, or a single
+/// timed representative of a checkpointed job.
+enum Unit {
+    Whole(usize),
+    Shard {
+        job: usize,
+        ckpt: usize,
+        shard: usize,
+    },
+}
+
+/// The checkpoint plan for one batch of pending jobs.
+struct SweepPlan {
+    /// Per pending job: index into `ckpts`, or `None` to simulate whole.
+    assignment: Vec<Option<usize>>,
+    /// The batch's distinct checkpoints, materialized once each.
+    ckpts: Vec<Arc<SampleCheckpoint>>,
+}
+
+impl SweepPlan {
+    /// Expands the plan into the batch's work units, job-major so each
+    /// job's shard results arrive in shard order.
+    fn units(&self, pending: &[Job]) -> Vec<Unit> {
+        let mut units = Vec::with_capacity(pending.len());
+        for j in 0..pending.len() {
+            match self.assignment[j] {
+                Some(c) => units.extend((0..self.ckpts[c].shard_count()).map(|s| Unit::Shard {
+                    job: j,
+                    ckpt: c,
+                    shard: s,
+                })),
+                None => units.push(Unit::Whole(j)),
+            }
+        }
+        units
+    }
+}
+
+/// Groups the pending jobs by functional fingerprint and materializes
+/// each distinct checkpoint once, fanning the builds across the pool
+/// (profiling, clustering and warmup dominate a sampled job's cost, so
+/// a sweep of F distinct streams warms F ways wide). Jobs whose
+/// fingerprint is `None` — unsampled, multi-core, unsupported L1 mode,
+/// degenerate or over-cap budgets — simulate whole, as do jobs whose
+/// build overflows the compact stream encoding (`Job::simulate` then
+/// takes the identical streaming fallback).
+fn plan_checkpoints(pending: &[Job], workers: usize) -> SweepPlan {
+    let mut assignment: Vec<Option<usize>> = vec![None; pending.len()];
+    if !tk_sim::checkpoints_enabled() || pending.is_empty() {
+        // `--no-ckpt`: every job still *builds* its checkpoint
+        // transiently inside `run_sampled`, so results are identical —
+        // only the sharing and the shard-level parallelism are lost.
+        return SweepPlan {
+            assignment,
+            ckpts: Vec::new(),
+        };
+    }
+    // The stream probe forks and hashes the head of the workload, so
+    // memoize it per distinct stream, not per job.
+    let mut probes: HashMap<(SpecBenchmark, u64), Option<u64>> = HashMap::new();
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<(String, usize)> = Vec::new(); // (fingerprint, exemplar job)
+    for (i, job) in pending.iter().enumerate() {
+        if job.cfg.sample.is_none() {
+            continue;
+        }
+        let probe = *probes
+            .entry((job.bench, job.seed))
+            .or_insert_with(|| tk_sim::stream_probe(&job.bench.build(job.seed)));
+        let Some(probe) = probe else { continue };
+        let Some(fp) = tk_sim::job_fingerprint(probe, job.bench.name(), &job.cfg, job.instructions)
+        else {
+            continue;
+        };
+        let g = *group_of.entry(fp.clone()).or_insert_with(|| {
+            groups.push((fp, i));
+            groups.len() - 1
+        });
+        assignment[i] = Some(g);
+    }
+
+    let built: Vec<Mutex<Option<Arc<SampleCheckpoint>>>> =
+        groups.iter().map(|_| Mutex::new(None)).collect();
+    let build = |g: &(String, usize)| {
+        let job = &pending[g.1];
+        tk_sim::obtain_keyed(&job.bench.build(job.seed), &job.cfg, job.instructions, &g.0)
+    };
+    let pool = workers.max(1).min(groups.len().max(1));
+    if pool <= 1 {
+        for (g, slot) in groups.iter().zip(&built) {
+            *slot.lock().expect("slot poisoned") = build(g);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(g) = groups.get(i) else { break };
+                    let r = build(g);
+                    *built[i].lock().expect("slot poisoned") = r;
+                });
+            }
+        });
+    }
+
+    // Compact to the successful builds and remap the assignments.
+    let mut ckpts = Vec::new();
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(groups.len());
+    for slot in built {
+        match slot.into_inner().expect("slot poisoned") {
+            Some(c) => {
+                remap.push(Some(ckpts.len()));
+                ckpts.push(c);
+            }
+            None => remap.push(None),
+        }
+    }
+    for a in &mut assignment {
+        *a = a.and_then(|g| remap[g]);
+    }
+    SweepPlan { assignment, ckpts }
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ macro_rules! figure_main {
             // manifest beside the trace/profile files.
             let manifest = $crate::manifest::arm_for_figure();
             let before = $crate::engine::memo_stats();
+            let ckpt_before = $crate::manifest::ckpt_snapshot();
             let started = std::time::Instant::now();
             println!("{}", $crate::figures::$fig(opts));
             if manifest {
@@ -87,6 +88,7 @@ macro_rules! figure_main {
                     &opts,
                     started.elapsed(),
                     before,
+                    ckpt_before,
                 );
             }
         }

@@ -19,18 +19,59 @@ use timekeeping::snapshot::Json;
 use crate::engine::Job;
 use crate::FigureOpts;
 
+/// Checkpoint-plane provenance for one report: how many sampling
+/// checkpoints the run served from each tier, and the functional
+/// fingerprints of every checkpoint it touched (see `tk_sim::ckpt`).
+#[derive(Debug, Clone, Default)]
+pub struct CkptDelta {
+    /// Whether the checkpoint store was enabled for the run.
+    pub enabled: bool,
+    /// Checkpoints served from the in-process tier.
+    pub mem_hits: u64,
+    /// Checkpoints loaded from the on-disk tier.
+    pub disk_hits: u64,
+    /// Checkpoints built from scratch.
+    pub builds: u64,
+    /// Functional fingerprints, deduplicated, first-use order.
+    pub fingerprints: Vec<String>,
+}
+
+impl CkptDelta {
+    /// Computes the counter delta since `before` and drains the
+    /// fingerprints recorded by `tk_sim::record_checkpoints(true)`.
+    pub fn since(before: tk_sim::CkptStats) -> Self {
+        let now = tk_sim::checkpoint_stats();
+        CkptDelta {
+            enabled: tk_sim::checkpoints_enabled(),
+            // Saturating: a mid-run `reset_checkpoint_store` (benchmark
+            // harnesses do this) zeroes the monotonic counters.
+            mem_hits: now.mem_hits.saturating_sub(before.mem_hits),
+            disk_hits: now.disk_hits.saturating_sub(before.disk_hits),
+            builds: now.builds.saturating_sub(before.builds),
+            fingerprints: tk_sim::take_recorded_checkpoints(),
+        }
+    }
+}
+
+/// Snapshot of the checkpoint-store counters, taken before a figure
+/// runs so [`CkptDelta::since`] can attribute activity to it.
+pub fn ckpt_snapshot() -> tk_sim::CkptStats {
+    tk_sim::checkpoint_stats()
+}
+
 /// Builds the manifest JSON for one generated report.
 ///
 /// `jobs` is the engine's job log for the run (see
 /// [`engine::take_recorded_jobs`](crate::engine::take_recorded_jobs));
 /// `provenance` is the engine's `(memo_hits, disk_hits, sims_run)`
-/// delta for the run.
+/// delta for the run; `ckpt` is the checkpoint-plane delta.
 pub fn manifest_json(
     name: &str,
     opts: &FigureOpts,
     wall: Duration,
     jobs: &[Job],
     provenance: (u64, u64, u64),
+    ckpt: &CkptDelta,
 ) -> Json {
     let mut fingerprints: Vec<String> = jobs.iter().map(Job::cache_key).collect();
     fingerprints.sort();
@@ -70,6 +111,19 @@ pub fn manifest_json(
                 ("simulations_run", Json::U64(sims_run)),
             ]),
         ),
+        (
+            "checkpoints",
+            Json::obj([
+                ("enabled", Json::Bool(ckpt.enabled)),
+                ("mem_hits", Json::U64(ckpt.mem_hits)),
+                ("disk_hits", Json::U64(ckpt.disk_hits)),
+                ("builds", Json::U64(ckpt.builds)),
+                (
+                    "fingerprints",
+                    Json::Arr(ckpt.fingerprints.iter().cloned().map(Json::Str).collect()),
+                ),
+            ]),
+        ),
         ("simulations", Json::U64(jobs.len() as u64)),
         (
             "config_fingerprints",
@@ -90,38 +144,50 @@ pub fn write_manifest(
     wall: Duration,
     jobs: &[Job],
     provenance: (u64, u64, u64),
+    ckpt: &CkptDelta,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.manifest.json"));
-    let json = manifest_json(name, opts, wall, jobs, provenance);
+    let json = manifest_json(name, opts, wall, jobs, provenance, ckpt);
     std::fs::write(&path, json.render())?;
     Ok(path)
 }
 
 /// The manifest hook used by [`figure_main!`](crate::figure_main): arms
-/// the engine's job log when `--obs-out` is configured, so the finished
-/// run can be described. Returns whether manifests are enabled.
+/// the engine's job log and the checkpoint-fingerprint log when
+/// `--obs-out` is configured, so the finished run can be described.
+/// Returns whether manifests are enabled.
 pub fn arm_for_figure() -> bool {
     if tk_sim::obs::out_dir().is_none() {
         return false;
     }
     crate::engine::record_jobs(true);
+    tk_sim::record_checkpoints(true);
     true
 }
 
-/// Completes the [`arm_for_figure`] cycle: drains the job log and writes
-/// the manifest into the configured `--obs-out` directory. `before` is
-/// the [`memo_stats`](crate::engine::memo_stats) snapshot taken before
-/// the run.
-pub fn finish_for_figure(name: &str, opts: &FigureOpts, wall: Duration, before: (u64, u64, u64)) {
+/// Completes the [`arm_for_figure`] cycle: drains the job and
+/// checkpoint logs and writes the manifest into the configured
+/// `--obs-out` directory. `before` is the
+/// [`memo_stats`](crate::engine::memo_stats) snapshot taken before the
+/// run; `ckpt_before` the [`ckpt_snapshot`] one.
+pub fn finish_for_figure(
+    name: &str,
+    opts: &FigureOpts,
+    wall: Duration,
+    before: (u64, u64, u64),
+    ckpt_before: tk_sim::CkptStats,
+) {
     let jobs = crate::engine::take_recorded_jobs();
     crate::engine::record_jobs(false);
+    let ckpt = CkptDelta::since(ckpt_before);
+    tk_sim::record_checkpoints(false);
     let Some(dir) = tk_sim::obs::out_dir() else {
         return;
     };
     let (m, d, s) = crate::engine::memo_stats();
     let delta = (m - before.0, d - before.1, s - before.2);
-    match write_manifest(&dir, name, opts, wall, &jobs, delta) {
+    match write_manifest(&dir, name, opts, wall, &jobs, delta, &ckpt) {
         Ok(path) => eprintln!("manifest written to {}", path.display()),
         Err(e) => eprintln!("warning: cannot write manifest for {name}: {e}"),
     }
@@ -149,7 +215,21 @@ mod tests {
             // A duplicate submission dedupes in the fingerprint list.
             Job::new(SpecBenchmark::Gzip, SystemConfig::base(), 1, 10_000),
         ];
-        let j = manifest_json("fig99", &opts, Duration::from_millis(250), &jobs, (2, 0, 1));
+        let ckpt = CkptDelta {
+            enabled: true,
+            mem_hits: 3,
+            disk_hits: 1,
+            builds: 2,
+            fingerprints: vec!["v1 wl=gzip/0000000000000000 budget=10000".to_owned()],
+        };
+        let j = manifest_json(
+            "fig99",
+            &opts,
+            Duration::from_millis(250),
+            &jobs,
+            (2, 0, 1),
+            &ckpt,
+        );
         assert_eq!(j.get("name").unwrap().as_str().unwrap(), "fig99");
         assert_eq!(
             j.u64_field("instructions").unwrap(),
@@ -163,8 +243,23 @@ mod tests {
             "interval=50000,k=7"
         );
         opts.sample = None;
-        let off = manifest_json("fig99", &opts, Duration::ZERO, &[], (0, 0, 0));
+        let off = manifest_json(
+            "fig99",
+            &opts,
+            Duration::ZERO,
+            &[],
+            (0, 0, 0),
+            &CkptDelta::default(),
+        );
         assert_eq!(off.get("sample").unwrap().as_str().unwrap(), "off");
+        let ck = j.get("checkpoints").unwrap();
+        assert!(matches!(ck.get("enabled").unwrap(), Json::Bool(true)));
+        assert_eq!(ck.u64_field("mem_hits").unwrap(), 3);
+        assert_eq!(ck.u64_field("disk_hits").unwrap(), 1);
+        assert_eq!(ck.u64_field("builds").unwrap(), 2);
+        let fps = ck.get("fingerprints").unwrap().as_arr().unwrap();
+        assert_eq!(fps.len(), 1);
+        assert!(fps[0].as_str().unwrap().starts_with("v1 wl=gzip/"));
         let fps = j.get("config_fingerprints").unwrap().as_arr().unwrap();
         assert_eq!(fps.len(), 2, "duplicate job tuples dedupe");
         assert!(fps[0].as_str().unwrap().contains("bench="));
@@ -182,7 +277,16 @@ mod tests {
     fn write_manifest_round_trips() {
         let dir = std::env::temp_dir().join(format!("tk_manifest_{}", std::process::id()));
         let opts = FigureOpts::quick();
-        let path = write_manifest(&dir, "figX", &opts, Duration::ZERO, &[], (0, 0, 0)).unwrap();
+        let path = write_manifest(
+            &dir,
+            "figX",
+            &opts,
+            Duration::ZERO,
+            &[],
+            (0, 0, 0),
+            &CkptDelta::default(),
+        )
+        .unwrap();
         assert!(path.ends_with("figX.manifest.json"));
         let text = std::fs::read_to_string(&path).unwrap();
         let back = Json::parse(&text).unwrap();

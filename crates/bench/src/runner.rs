@@ -84,6 +84,9 @@ impl FigureOpts {
     /// The default disk-cache location of `--cache`.
     pub const DEFAULT_CACHE_DIR: &'static str = "reports/.cache";
 
+    /// The default checkpoint-store location of `--ckpt`.
+    pub const DEFAULT_CKPT_DIR: &'static str = "reports/.ckpt";
+
     /// Creates options with the default budget.
     pub fn new() -> Self {
         FigureOpts {
@@ -209,6 +212,20 @@ impl FigureOpts {
                     engine::set_disk_cache(Some(dir.into()));
                 }
                 "--no-cache" => engine::set_disk_cache(None),
+                "--ckpt" => {
+                    // Like `--cache`: the in-process checkpoint tier is
+                    // on by default; this flag adds the on-disk tier so
+                    // profiling/clustering/warmup survive the process.
+                    let dir = inline
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| Self::DEFAULT_CKPT_DIR.to_owned());
+                    tk_sim::set_checkpoints_enabled(true);
+                    tk_sim::set_checkpoint_dir(Some(dir.into()));
+                }
+                "--no-ckpt" => {
+                    tk_sim::set_checkpoints_enabled(false);
+                    tk_sim::set_checkpoint_dir(None);
+                }
                 "--check" => {
                     opts.check = true;
                     tk_sim::set_lockstep_check(true);
@@ -288,12 +305,18 @@ fn usage() -> String {
         "usage: <binary> [INSTRUCTIONS] [options]\n\
          \n\
          options:\n\
-         \x20 --instructions N   instruction budget per run (default {})\n\
+         \x20 --instructions N   instruction budget per run (default {instr})\n\
          \x20 --seed S           workload seed (default 1)\n\
-         \x20 --quick            reduced {}-instruction budget for smoke runs\n\
+         \x20 --quick            reduced {quick}-instruction budget for smoke runs\n\
          \x20 --jobs J           worker threads (default: all cores)\n\
-         \x20 --cache[=DIR]      persist results as JSON (default dir {})\n\
+         \x20 --cache[=DIR]      persist results as JSON (default dir {cache})\n\
          \x20 --no-cache         disable the disk cache\n\
+         \x20 --ckpt[=DIR]       persist sampling checkpoints (profile +\n\
+         \x20                    clustering + warm state) on disk (default\n\
+         \x20                    dir {ckpt}); sweeps over timing knobs\n\
+         \x20                    reuse them across runs\n\
+         \x20 --no-ckpt          disable checkpoint sharing entirely\n\
+         \x20                    (results are bit-identical either way)\n\
          \x20 --check            self-verify: run every simulation in\n\
          \x20                    lockstep with the functional oracle\n\
          \x20 --dram=BACKEND     memory model: fixed (default, the paper's\n\
@@ -305,7 +328,7 @@ fn usage() -> String {
          \x20 --sample[=I,K]     statistical sampling: split the budget into\n\
          \x20                    I-instruction intervals, k-means them into K\n\
          \x20                    clusters, time only the representatives with\n\
-         \x20                    functional warmup (default {},{}; results\n\
+         \x20                    functional warmup (default {interval},{k}; results\n\
          \x20                    carry a `sampled` tag and separate cache keys)\n\
          \x20 --trace[=CATS]     stream typed memory events (binary + JSONL);\n\
          \x20                    CATS filters categories, e.g. miss,fill,pf\n\
@@ -315,13 +338,13 @@ fn usage() -> String {
          \x20 --help             this text\n\
          \n\
          A bare leading number is accepted as INSTRUCTIONS (legacy\n\
-         interface). Clear the disk cache with: rm -rf {}",
-        FigureOpts::DEFAULT_INSTRUCTIONS,
-        FigureOpts::QUICK_INSTRUCTIONS,
-        tk_sim::SampleConfig::DEFAULT.interval,
-        tk_sim::SampleConfig::DEFAULT.k,
-        FigureOpts::DEFAULT_CACHE_DIR,
-        FigureOpts::DEFAULT_CACHE_DIR,
+         interface). Clear the disk cache with: rm -rf {cache}",
+        instr = FigureOpts::DEFAULT_INSTRUCTIONS,
+        quick = FigureOpts::QUICK_INSTRUCTIONS,
+        interval = tk_sim::SampleConfig::DEFAULT.interval,
+        k = tk_sim::SampleConfig::DEFAULT.k,
+        cache = FigureOpts::DEFAULT_CACHE_DIR,
+        ckpt = FigureOpts::DEFAULT_CKPT_DIR,
     )
 }
 
@@ -472,6 +495,38 @@ mod tests {
         assert_eq!(engine::disk_cache_dir(), None);
 
         engine::set_disk_cache(prev);
+    }
+
+    #[test]
+    fn ckpt_flag_toggles_the_checkpoint_plane() {
+        // Mutates the process-global checkpoint store: save and restore,
+        // like cache_flag_path_handling does for the disk cache.
+        let prev_on = tk_sim::checkpoints_enabled();
+        let prev_dir = tk_sim::checkpoint_dir();
+
+        let (_, pos) = parse(&["--ckpt=/tmp/tk-ckpt-flag-test"]).unwrap();
+        assert!(pos.is_empty());
+        assert!(tk_sim::checkpoints_enabled());
+        assert_eq!(
+            tk_sim::checkpoint_dir(),
+            Some(std::path::PathBuf::from("/tmp/tk-ckpt-flag-test"))
+        );
+
+        // Bare `--ckpt` falls back to the default directory rather than
+        // consuming the next argument as a value.
+        let (_, pos) = parse(&["--ckpt", "777"]).unwrap();
+        assert_eq!(
+            tk_sim::checkpoint_dir(),
+            Some(std::path::PathBuf::from(FigureOpts::DEFAULT_CKPT_DIR))
+        );
+        assert_eq!(pos, vec!["777"]);
+
+        parse(&["--no-ckpt"]).unwrap();
+        assert!(!tk_sim::checkpoints_enabled());
+        assert_eq!(tk_sim::checkpoint_dir(), None);
+
+        tk_sim::set_checkpoints_enabled(prev_on);
+        tk_sim::set_checkpoint_dir(prev_dir);
     }
 
     #[test]

@@ -163,8 +163,38 @@ pub struct FullyAssocShadow {
     /// Frozen prefix of the seen set, shared with the producer of a
     /// checkpoint (see [`from_parts`](Self::from_parts)). A line is
     /// "seen" if it is in either set; new observations land in `seen`.
-    seen_base: Option<std::sync::Arc<HashSet<u64>>>,
+    seen_base: Option<SeenBase>,
     breakdown: MissBreakdown,
+}
+
+/// A frozen, shareable prefix of the "ever seen" line set.
+///
+/// `Set` is a plain snapshot. `Epoch` is the checkpoint-plane encoding:
+/// one map from line to the index of the profiling interval that first
+/// touched it, shared across every representative of a
+/// [`SampleCheckpoint`](../../tk_sim) via `Arc`. A representative at
+/// interval `epoch` considers a line seen iff its first touch came
+/// strictly before `epoch` — so the single map serves every cut point of
+/// the warmup stream without per-representative copies.
+#[derive(Debug, Clone)]
+enum SeenBase {
+    Set(std::sync::Arc<HashSet<u64>>),
+    Epoch {
+        first_touch: std::sync::Arc<HashMap<u64, u32>>,
+        epoch: u32,
+    },
+}
+
+impl SeenBase {
+    #[inline]
+    fn contains(&self, raw: u64) -> bool {
+        match self {
+            SeenBase::Set(s) => s.contains(&raw),
+            SeenBase::Epoch { first_touch, epoch } => {
+                first_touch.get(&raw).is_some_and(|&e| e < *epoch)
+            }
+        }
+    }
 }
 
 impl FullyAssocShadow {
@@ -213,8 +243,46 @@ impl FullyAssocShadow {
         seen: std::sync::Arc<HashSet<u64>>,
         breakdown: MissBreakdown,
     ) -> Self {
+        Self::from_base(
+            capacity_blocks,
+            resident_lru_to_mru,
+            SeenBase::Set(seen),
+            breakdown,
+        )
+    }
+
+    /// Like [`from_parts`](Self::from_parts), but the frozen seen set is
+    /// encoded as a shared first-touch map plus a cut point: a line
+    /// counts as previously seen iff `first_touch[line] < epoch`. One map
+    /// (covering the whole warmup stream) serves every representative of
+    /// a sampling checkpoint, each at its own epoch, without copying.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`from_parts`](Self::from_parts).
+    pub fn from_parts_epoch(
+        capacity_blocks: usize,
+        resident_lru_to_mru: impl IntoIterator<Item = u64>,
+        first_touch: std::sync::Arc<HashMap<u64, u32>>,
+        epoch: u32,
+        breakdown: MissBreakdown,
+    ) -> Self {
+        Self::from_base(
+            capacity_blocks,
+            resident_lru_to_mru,
+            SeenBase::Epoch { first_touch, epoch },
+            breakdown,
+        )
+    }
+
+    fn from_base(
+        capacity_blocks: usize,
+        resident_lru_to_mru: impl IntoIterator<Item = u64>,
+        base: SeenBase,
+        breakdown: MissBreakdown,
+    ) -> Self {
         let mut s = FullyAssocShadow::new(capacity_blocks);
-        s.seen_base = Some(seen);
+        s.seen_base = Some(base);
         for line in resident_lru_to_mru {
             s.stamp += 1;
             s.seen.insert(line);
@@ -261,7 +329,7 @@ impl FullyAssocShadow {
     pub fn classify_miss(&mut self, line: LineAddr) -> MissKind {
         let raw = line.get();
         let ever_seen =
-            self.seen.contains(&raw) || self.seen_base.as_ref().is_some_and(|b| b.contains(&raw));
+            self.seen.contains(&raw) || self.seen_base.as_ref().is_some_and(|b| b.contains(raw));
         let kind = if !ever_seen {
             MissKind::Cold
         } else if self.contains(line) {
@@ -390,5 +458,39 @@ mod tests {
     #[test]
     fn empty_breakdown_fraction_is_zero() {
         assert_eq!(MissBreakdown::default().fraction(MissKind::Cold), 0.0);
+    }
+
+    #[test]
+    fn epoch_seen_base_matches_set_snapshot() {
+        use std::collections::{HashMap, HashSet};
+        use std::sync::Arc;
+        // First-touch epochs: line 1 @0, line 2 @1, line 3 @2. A shadow
+        // cut at epoch 2 must treat {1, 2} as seen and 3 as unseen —
+        // exactly what a set snapshot taken at that boundary would say.
+        let first: Arc<HashMap<u64, u32>> =
+            Arc::new([(1u64, 0u32), (2, 1), (3, 2)].into_iter().collect());
+        let snapshot: Arc<HashSet<u64>> = Arc::new([1u64, 2].into_iter().collect());
+        let mut by_epoch =
+            FullyAssocShadow::from_parts_epoch(4, [1u64], first, 2, MissBreakdown::default());
+        let mut by_set =
+            FullyAssocShadow::from_parts(4, [1u64], snapshot, MissBreakdown::default());
+        for l in [1u64, 2, 3, 3, 2] {
+            assert_eq!(
+                by_epoch.classify_miss(line(l)),
+                by_set.classify_miss(line(l)),
+                "line {l}"
+            );
+        }
+        assert_eq!(by_epoch.breakdown(), by_set.breakdown());
+    }
+
+    #[test]
+    fn epoch_zero_sees_nothing() {
+        use std::sync::Arc;
+        let first = Arc::new([(7u64, 0u32)].into_iter().collect());
+        let mut s = FullyAssocShadow::from_parts_epoch(2, [], first, 0, MissBreakdown::default());
+        // first_touch[7] == 0 is NOT < epoch 0: the very first interval's
+        // own touches are invisible to the representative at boundary 0.
+        assert_eq!(s.classify_miss(line(7)), MissKind::Cold);
     }
 }

@@ -209,6 +209,17 @@ impl SetAssocCache {
         }
     }
 
+    /// Clears the dirty bit of the (valid) line in `frame` without
+    /// touching its replacement recency — the coherence snoop-flush
+    /// path: a remote read cleans the owner's copy, but a snoop is not
+    /// a use by the owning core, so the line's LRU position must not
+    /// move.
+    pub fn clean_frame(&mut self, frame: usize) {
+        if self.ways[frame].valid {
+            self.ways[frame].dirty = false;
+        }
+    }
+
     /// Whether the (valid) line in `frame` is dirty.
     pub fn frame_dirty(&self, frame: usize) -> bool {
         self.ways[frame].valid && self.ways[frame].dirty

@@ -41,6 +41,7 @@
 
 pub mod bus;
 pub mod cache;
+pub mod ckpt;
 pub mod config;
 pub mod core;
 pub mod dram;
@@ -55,6 +56,11 @@ pub mod system;
 pub mod trace;
 
 pub use bus::SnoopBus;
+pub use ckpt::{
+    checkpoint_dir, checkpoint_stats, checkpoints_enabled, job_fingerprint, obtain_keyed,
+    record_checkpoints, reset_checkpoint_store, set_checkpoint_dir, set_checkpoints_enabled,
+    stream_probe, take_recorded_checkpoints, CkptStats,
+};
 pub use config::{
     default_cores, set_default_cores, ConfigError, L1Mode, MachineConfig, PrefetchMode,
     SampleConfig, SystemConfig, SystemConfigBuilder, VictimMode, MAX_CORES,
@@ -72,7 +78,10 @@ pub use obs::{
     TraceRecord,
 };
 pub use oracle::{lockstep_check_enabled, set_lockstep_check, FunctionalOracle, LockstepChecker};
-pub use sample::{default_sample, parse_sample_arg, set_default_sample, SampleStats};
+pub use sample::{
+    assemble_shards, default_sample, parse_sample_arg, run_shard, set_default_sample,
+    SampleCheckpoint, SampleStats,
+};
 pub use system::{run_workload, run_workload_checked, RunResult, SimSystem};
 pub use trace::{Instr, MemRef, Workload};
 

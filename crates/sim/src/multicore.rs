@@ -1216,16 +1216,13 @@ impl MultiCoreSystem {
                         }
                         if !is_store {
                             // BusRd: the owner keeps a now-clean copy.
+                            // The flush cleaned it (a Shared line must
+                            // not write back again on eviction), but a
+                            // snoop is not a use by the owner, so its
+                            // LRU position stays put.
                             self.cores[owner].stats.l1_writebacks += 1;
                             self.cores[owner].mesi[owner_frame] = Mesi::Shared;
-                            self.cores[owner].l1.mark_dirty(owner_frame);
-                            // The flush cleaned it; clear by re-deriving:
-                            // tags-only model tracks dirtiness for
-                            // writeback decisions, and a Shared copy must
-                            // not write back again on eviction.
-                            self.cores[owner].l1.invalidate(owner_frame);
-                            self.cores[owner].l1.fill_frame(owner_frame, addr);
-                            self.cores[owner].mesi[owner_frame] = Mesi::Shared;
+                            self.cores[owner].l1.clean_frame(owner_frame);
                         }
                         if let Some(r) = report.as_mut() {
                             r.level = ServiceLevel::CacheToCache;
@@ -1786,6 +1783,38 @@ mod tests {
         // A later write by core 1 needs an upgrade (both copies Shared).
         sys.access(1, &a, true, Cycle::new(1_000));
         assert_eq!(sys.coherence().bus_upgrades, 1);
+    }
+
+    #[test]
+    fn c2c_owner_lru_matches_checker_with_assoc_l1() {
+        // A 2-way L1 regression: a cache-to-cache transfer must touch
+        // the *owner's* LRU stack too, or the owner later evicts the
+        // wrong way and diverges from the coherent checker's mirror.
+        let mut machine = crate::config::MachineConfig::paper_default();
+        machine.l1d = timekeeping::CacheGeometry::new(32 * 1024, 2, 32).unwrap();
+        let cfg = SystemConfig::builder()
+            .machine(machine)
+            .cores(2)
+            .build()
+            .unwrap();
+        let mut sys = MultiCoreSystem::new(cfg);
+        sys.install_checker();
+
+        let a = MemRef::new(Addr::new(0), Pc::new(4)); // set 0
+        let x = MemRef::new(Addr::new(16 * 1024), Pc::new(4)); // same set, other way
+        let y = MemRef::new(Addr::new(32 * 1024), Pc::new(4)); // same set, third line
+
+        // Core 1: store A (M, MRU), then load X (X MRU, A LRU).
+        sys.access(1, &a, true, Cycle::new(0));
+        sys.access(1, &x, false, Cycle::new(200));
+        // Core 0: load A -> c2c from core 1.
+        sys.access(0, &a, false, Cycle::new(400));
+        assert_eq!(sys.coherence().c2c_transfers, 1);
+        // Core 1: load Y -> set full, must evict its LRU way; the
+        // checker panics here if the model and mirror disagree on which
+        // way that is.
+        sys.access(1, &y, false, Cycle::new(600));
+        assert_eq!(sys.coherence().c2c_transfers, 1);
     }
 
     #[test]

@@ -465,6 +465,27 @@ impl FunctionalOracle {
         self.l2.all_lines()
     }
 
+    /// Rebuilds a warm oracle from exported line lists (set-major,
+    /// LRU→MRU within each set, as produced by
+    /// [`l1_lines`](Self::l1_lines)/[`l2_lines`](Self::l2_lines)):
+    /// refilling an empty mirror in that order reproduces the exact tag
+    /// state, and the victim buffer starts empty — precisely the state a
+    /// representative's lockstep checker expects, since the timed
+    /// machine's victim cache also starts empty. Used by the checkpoint
+    /// plane, which stores line lists instead of live oracles.
+    pub(crate) fn from_lines(cfg: &SystemConfig, l1: &[u64], l2: &[u64]) -> Self {
+        let mut o = Self::new(cfg);
+        for &l in l1 {
+            let evicted = o.l1.fill(LineAddr::new(l));
+            debug_assert!(evicted.is_none(), "refill into an empty mirror");
+        }
+        for &l in l2 {
+            let evicted = o.l2.fill(LineAddr::new(l));
+            debug_assert!(evicted.is_none(), "refill into an empty mirror");
+        }
+        o
+    }
+
     /// Empties the victim buffer. The sampled engine starts every
     /// representative interval with an empty victim cache (admission
     /// decisions are timing-based, so warm contents would be a guess);
