@@ -1,0 +1,131 @@
+//! Converts a TKTRACE1 observability capture into a replayable trace
+//! file, closing the capture→replay loop.
+//!
+//! ```text
+//! tk_trace_export INPUT OUTPUT [--format text|champsim] [--block N] [--gzip]
+//! ```
+//!
+//! `INPUT` is a capture produced by `--trace=ref --obs-out DIR` —
+//! either the compact binary stream (`trace-NNNN.bin`, sniffed by its
+//! `TKTRACE1` magic) or the JSONL stream (`trace-NNNN.jsonl`). Every
+//! `Access` record becomes one load or store at `line × block_bytes`
+//! (see DESIGN.md §2i for the lossy-field contract). The result is a
+//! trace file any figure binary replays via `--trace-file=OUTPUT`.
+//!
+//! `--gzip` (or an `OUTPUT` ending in `.gz`) compresses the output
+//! with the stored-block gzip writer; the readers decompress
+//! transparently either way.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use tk_sim::obs;
+use tk_workloads::{capture_to_instrs, champsim, gzip, render_instr};
+
+fn usage() -> String {
+    "usage: tk_trace_export INPUT OUTPUT [--format text|champsim] [--block N] [--gzip]\n\
+     \n\
+     INPUT is a capture from a run traced with --trace=ref --obs-out DIR:\n\
+     either the binary stream (trace-NNNN.bin) or the JSONL stream\n\
+     (trace-NNNN.jsonl); the format is sniffed from the content. OUTPUT\n\
+     is the replayable trace file for --trace-file=OUTPUT.\n\
+     \n\
+     options:\n\
+     \x20 --format FMT    output format: text (default) or champsim\n\
+     \x20 --block N       bytes per cache line in the source run (default 32)\n\
+     \x20 --gzip          gzip-compress OUTPUT (implied by a .gz suffix)\n\
+     \x20 --help          this text"
+        .to_owned()
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    let mut format = "text".to_owned();
+    let mut block: u64 = 32;
+    let mut gz = false;
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_owned())),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--format" => {
+                format = inline
+                    .or_else(|| args.next())
+                    .ok_or("--format needs a value (text or champsim)")?;
+                if format != "text" && format != "champsim" {
+                    return Err(format!(
+                        "unknown --format `{format}` (expected text or champsim)"
+                    ));
+                }
+            }
+            "--block" => {
+                let v = inline
+                    .or_else(|| args.next())
+                    .ok_or("--block needs a byte count")?;
+                block = v
+                    .parse()
+                    .map_err(|_| format!("--block: `{v}` is not a number"))?;
+            }
+            "--gzip" => gz = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            _ if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
+    let [input, output] = <[String; 2]>::try_from(positional)
+        .map_err(|p| format!("expected INPUT and OUTPUT (got {} arguments)", p.len()))?;
+
+    let mut raw = Vec::new();
+    std::fs::File::open(&input)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| format!("cannot read {input}: {e}"))?;
+    // Sniff the capture format from the content, not the extension.
+    let records = if raw.starts_with(obs::TRACE_MAGIC) {
+        obs::read_binary(&raw[..]).map_err(|e| format!("{input}: {e}"))?
+    } else {
+        obs::read_jsonl(&raw[..]).map_err(|e| format!("{input}: {e}"))?
+    };
+
+    let instrs = capture_to_instrs(&records, block).map_err(|e| format!("{input}: {e}"))?;
+    let mut bytes = match format.as_str() {
+        "champsim" => champsim::render_trace(&instrs),
+        _ => {
+            let mut text = String::with_capacity(instrs.len() * 16);
+            for i in &instrs {
+                text.push_str(&render_instr(i));
+                text.push('\n');
+            }
+            text.into_bytes()
+        }
+    };
+    if gz || output.ends_with(".gz") {
+        bytes = gzip::gzip_store(&bytes);
+    }
+    std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "{output}: {} refs ({format}{}) from {} capture records",
+        instrs.len(),
+        if gz || output.ends_with(".gz") {
+            ", gzip"
+        } else {
+            ""
+        },
+        records.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Replays externally-registered trace files through the base machine
+//! and reports the headline statistics — the quickest way to check a
+//! `tk_trace_export` output or a ChampSim import end to end.
+//!
+//! ```text
+//! tk_trace_replay --trace-file=PATH[:fmt] [--trace-file=...] [options]
+//! ```
+//!
+//! Every trace registered with `--trace-file` runs once through
+//! `SystemConfig::base()` under the shared [`FigureOpts`] flags
+//! (`--dram`, `--sample`, `--trace`, `--obs-out`, `--trace-once`, …).
+//! Unless `--instructions` is given explicitly, the budget defaults to
+//! one full pass of each trace (its record count), so the replayed
+//! reference stream matches the capture exactly.
+
+use std::process::ExitCode;
+
+use tk_bench::runner::run_bench;
+use tk_bench::workload::{registered_traces, trace_info, WorkloadId};
+use tk_bench::FigureOpts;
+use tk_sim::SystemConfig;
+
+fn main() -> ExitCode {
+    let opts = FigureOpts::from_args();
+    let traces = registered_traces();
+    if traces.is_empty() {
+        eprintln!(
+            "error: no traces registered — pass at least one --trace-file=PATH[:fmt]\n\
+             (run any figure binary with --help for the shared flag list)"
+        );
+        return ExitCode::from(2);
+    }
+    for h in traces {
+        let info = trace_info(h);
+        // Default to one full pass so the replay covers the capture
+        // exactly once; an explicit --instructions overrides.
+        let mut per = opts;
+        if !opts.instructions_explicit {
+            per.instructions = info.records.max(1);
+        }
+        let r = run_bench(WorkloadId::Trace(h), SystemConfig::base(), per);
+        println!(
+            "{name}: format={format}{gz}{stream} records={records} \
+             instructions={insts} ipc={ipc:.4}",
+            name = WorkloadId::Trace(h).name(),
+            format = info.format,
+            gz = if info.compressed { "+gzip" } else { "" },
+            stream = if info.streaming { "+stream" } else { "" },
+            records = info.records,
+            insts = per.instructions,
+            ipc = r.ipc(),
+        );
+        println!(
+            "  l1_accesses={} l1_hits={} vc_hits={} l2_accesses={} l2_hits={} \
+             mem_accesses={} l2_writebacks={}",
+            r.hierarchy.l1_accesses,
+            r.hierarchy.l1_hits,
+            r.hierarchy.vc_hits,
+            r.hierarchy.l2_accesses,
+            r.hierarchy.l2_hits,
+            r.hierarchy.mem_accesses,
+            r.hierarchy.l2_writebacks,
+        );
+    }
+    ExitCode::SUCCESS
+}

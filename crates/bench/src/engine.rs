@@ -37,14 +37,16 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use timekeeping::snapshot::{Json, Snapshot};
 use tk_sim::{run_workload, RunResult, SampleCheckpoint, SystemConfig};
-use tk_workloads::SpecBenchmark;
+
+use crate::workload::WorkloadId;
 
 /// One independent simulation: the result is a pure function of this
 /// tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Job {
-    /// The benchmark to run.
-    pub bench: SpecBenchmark,
+    /// The workload to run: a synthetic benchmark or a registered
+    /// external trace ([`WorkloadId`]).
+    pub bench: WorkloadId,
     /// The system configuration.
     pub cfg: SystemConfig,
     /// Workload seed.
@@ -54,10 +56,16 @@ pub struct Job {
 }
 
 impl Job {
-    /// Creates a job.
-    pub fn new(bench: SpecBenchmark, cfg: SystemConfig, seed: u64, instructions: u64) -> Self {
+    /// Creates a job. Accepts a bare [`SpecBenchmark`](tk_workloads::SpecBenchmark)
+    /// or any [`WorkloadId`].
+    pub fn new(
+        bench: impl Into<WorkloadId>,
+        cfg: SystemConfig,
+        seed: u64,
+        instructions: u64,
+    ) -> Self {
         Job {
-            bench,
+            bench: bench.into(),
             cfg,
             seed,
             instructions,
@@ -67,11 +75,14 @@ impl Job {
     /// A canonical, process-independent description of the tuple — the
     /// disk-cache key. (The in-process memo hashes the tuple directly;
     /// `std`'s hasher is randomized per process, so filenames use an FNV
-    /// hash of this string instead.)
+    /// hash of this string instead.) Synthetic jobs keep the historical
+    /// `bench={name};…` format; trace jobs lead with
+    /// `trace={digest:016x}` so entries can never alias across traces
+    /// or against a benchmark.
     pub fn cache_key(&self) -> String {
         format!(
-            "bench={};{};seed={};instructions={}",
-            self.bench.name(),
+            "{};{};seed={};instructions={}",
+            self.bench.key_fragment(),
             self.cfg.cache_key(),
             self.seed,
             self.instructions,
@@ -387,7 +398,7 @@ fn plan_checkpoints(pending: &[Job], workers: usize) -> SweepPlan {
     }
     // The stream probe forks and hashes the head of the workload, so
     // memoize it per distinct stream, not per job.
-    let mut probes: HashMap<(SpecBenchmark, u64), Option<u64>> = HashMap::new();
+    let mut probes: HashMap<(WorkloadId, u64), Option<u64>> = HashMap::new();
     let mut group_of: HashMap<String, usize> = HashMap::new();
     let mut groups: Vec<(String, usize)> = Vec::new(); // (fingerprint, exemplar job)
     for (i, job) in pending.iter().enumerate() {
@@ -398,7 +409,8 @@ fn plan_checkpoints(pending: &[Job], workers: usize) -> SweepPlan {
             .entry((job.bench, job.seed))
             .or_insert_with(|| tk_sim::stream_probe(&job.bench.build(job.seed)));
         let Some(probe) = probe else { continue };
-        let Some(fp) = tk_sim::job_fingerprint(probe, job.bench.name(), &job.cfg, job.instructions)
+        let Some(fp) =
+            tk_sim::job_fingerprint(probe, &job.bench.name(), &job.cfg, job.instructions)
         else {
             continue;
         };
@@ -456,6 +468,7 @@ fn plan_checkpoints(pending: &[Job], workers: usize) -> SweepPlan {
 mod tests {
     use super::*;
     use crate::runner::FigureOpts;
+    use tk_workloads::SpecBenchmark;
 
     fn quick_job(cfg: SystemConfig) -> Job {
         Job::new(

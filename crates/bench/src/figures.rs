@@ -14,12 +14,15 @@ use tk_workloads::SpecBenchmark;
 
 use crate::engine::{self, Job};
 use crate::fmt::{bar, geomean_improvement, histogram_chart, pct, pct_opt, TextTable};
-use crate::runner::{run_bench, run_suite, suite_metrics, FigureOpts};
+use crate::runner::{
+    best_workloads, run_bench, run_suite, suite_metrics, suite_workloads, FigureOpts,
+};
+use crate::workload::WorkloadId;
 
 /// Fans the cross product `benches × cfgs` across the worker pool,
 /// populating the engine's memo so the figure's (deterministic, serial)
 /// rendering loop below runs entirely on cache hits.
-fn warm(benches: &[SpecBenchmark], cfgs: &[SystemConfig], opts: FigureOpts) {
+fn warm(benches: &[WorkloadId], cfgs: &[SystemConfig], opts: FigureOpts) {
     let jobs: Vec<Job> = benches
         .iter()
         .flat_map(|&b| {
@@ -102,12 +105,9 @@ pub fn table1() -> String {
 /// Figure 1: potential IPC improvement if all L1D conflict and capacity
 /// misses were eliminated, per benchmark, sorted ascending.
 pub fn fig01(opts: FigureOpts) -> String {
-    warm(
-        &SpecBenchmark::ALL,
-        &[SystemConfig::base(), SystemConfig::ideal()],
-        opts,
-    );
-    let mut rows: Vec<(SpecBenchmark, f64)> = SpecBenchmark::ALL
+    let suite = suite_workloads();
+    warm(&suite, &[SystemConfig::base(), SystemConfig::ideal()], opts);
+    let mut rows: Vec<(WorkloadId, f64)> = suite
         .iter()
         .map(|&b| {
             let base = run_bench(b, SystemConfig::base(), opts);
@@ -119,7 +119,7 @@ pub fn fig01(opts: FigureOpts) -> String {
     let max = rows.last().map(|r| r.1).unwrap_or(1.0).max(1e-9);
     let mut t = TextTable::new(vec!["benchmark", "potential", "chart"]);
     for (b, imp) in &rows {
-        t.row(vec![b.name().to_owned(), pct(*imp), bar(imp / max, 40)]);
+        t.row(vec![b.name(), pct(*imp), bar(imp / max, 40)]);
     }
     format!(
         "Figure 1: potential IPC improvement with all conflict+capacity misses removed\n\
@@ -143,7 +143,7 @@ pub fn fig02(opts: FigureOpts) -> String {
     for (b, r) in &results {
         let bd = r.breakdown;
         t.row(vec![
-            b.name().to_owned(),
+            b.name(),
             pct(bd.fraction(MissKind::Conflict)),
             pct(bd.fraction(MissKind::Cold)),
             pct(bd.fraction(MissKind::Capacity)),
@@ -268,13 +268,9 @@ pub fn fig11(opts: FigureOpts) -> String {
         if let (Some(a), Some(c)) = (s.accuracy(), s.coverage_of_positives()) {
             accs.push(a.max(1e-3));
             covs.push(c.max(1e-3));
-            t.row(vec![b.name().to_owned(), pct(a), pct(c)]);
+            t.row(vec![b.name(), pct(a), pct(c)]);
         } else {
-            t.row(vec![
-                b.name().to_owned(),
-                "n/a".to_owned(),
-                "n/a".to_owned(),
-            ]);
+            t.row(vec![b.name(), "n/a".to_owned(), "n/a".to_owned()]);
         }
     }
     let geo = |v: &[f64]| {
@@ -299,8 +295,9 @@ pub fn fig11(opts: FigureOpts) -> String {
 /// Figure 13: victim-cache IPC improvement and fill traffic for the three
 /// admission policies.
 pub fn fig13(opts: FigureOpts) -> String {
+    let suite = suite_workloads();
     warm(
-        &SpecBenchmark::ALL,
+        &suite,
         &[
             SystemConfig::base(),
             SystemConfig::with_victim(VictimMode::Unfiltered),
@@ -321,7 +318,7 @@ pub fn fig13(opts: FigureOpts) -> String {
     let mut imps: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     let mut traffic_sums = [0.0f64; 3];
     let mut traffic_n = 0usize;
-    for &b in &SpecBenchmark::ALL {
+    for &b in &suite {
         let base = run_bench(b, SystemConfig::base(), opts);
         let modes = [
             VictimMode::Unfiltered,
@@ -346,7 +343,7 @@ pub fn fig13(opts: FigureOpts) -> String {
         }
         traffic_n += 1;
         t.row(vec![
-            b.name().to_owned(),
+            b.name(),
             pct(imp[0]),
             pct(imp[1]),
             pct(imp[2]),
@@ -394,22 +391,19 @@ pub fn fig14(opts: FigureOpts) -> String {
 
 /// Figure 15: live-time variability for the eight best performers.
 pub fn fig15(opts: FigureOpts) -> String {
-    warm(
-        &SpecBenchmark::BEST_PERFORMERS,
-        &[SystemConfig::base()],
-        opts,
-    );
+    let best = best_workloads();
+    warm(&best, &[SystemConfig::base()], opts);
     let mut t = TextTable::new(vec![
         "benchmark",
         "|diff| < 16 cyc",
         "lt < 2x prev",
         "pairs",
     ]);
-    for &b in &SpecBenchmark::BEST_PERFORMERS {
+    for &b in &best {
         let r = run_bench(b, SystemConfig::base(), opts);
         let v = &r.metrics.variability;
         t.row(vec![
-            b.name().to_owned(),
+            b.name(),
             pct(v.fraction_diff_below(16)),
             pct(v.fraction_within_2x()),
             v.pairs().to_string(),
@@ -431,11 +425,7 @@ pub fn fig16(opts: FigureOpts) -> String {
     let mut merged = timekeeping::LiveTimeDeadBlockPredictor::paper_default();
     for (b, r) in &results {
         let p = &r.metrics.live_time_predictor;
-        t.row(vec![
-            b.name().to_owned(),
-            pct_opt(p.accuracy()),
-            pct_opt(p.coverage()),
-        ]);
+        t.row(vec![b.name(), pct_opt(p.accuracy()), pct_opt(p.coverage())]);
         merged.merge(p);
     }
     t.row(vec![
@@ -453,8 +443,9 @@ pub fn fig16(opts: FigureOpts) -> String {
 /// Figure 19: IPC improvement of timekeeping prefetch (8 KB) vs DBCP
 /// (2 MB).
 pub fn fig19(opts: FigureOpts) -> String {
+    let suite = suite_workloads();
     warm(
-        &SpecBenchmark::ALL,
+        &suite,
         &[
             SystemConfig::base(),
             SystemConfig::with_prefetch(PrefetchMode::Dbcp(DbcpConfig::PAPER_2MB)),
@@ -465,7 +456,7 @@ pub fn fig19(opts: FigureOpts) -> String {
     let mut t = TextTable::new(vec!["benchmark", "dbcp 2MB", "timekeeping 8KB"]);
     let mut tk_imps = Vec::new();
     let mut dbcp_imps = Vec::new();
-    for &b in &SpecBenchmark::ALL {
+    for &b in &suite {
         let base = run_bench(b, SystemConfig::base(), opts);
         let dbcp = run_bench(
             b,
@@ -481,7 +472,7 @@ pub fn fig19(opts: FigureOpts) -> String {
         let ti = tk.speedup_over(&base);
         dbcp_imps.push(di);
         tk_imps.push(ti);
-        t.row(vec![b.name().to_owned(), pct(di), pct(ti)]);
+        t.row(vec![b.name(), pct(di), pct(ti)]);
     }
     t.row(vec![
         "[geomean]".to_owned(),
@@ -503,13 +494,14 @@ pub fn fig20(opts: FigureOpts) -> String {
         .predict_only()
         .build()
         .expect("predict-only with a prefetcher is valid");
-    warm(&SpecBenchmark::BEST_PERFORMERS, &[cfg], opts);
+    let best = best_workloads();
+    warm(&best, &[cfg], opts);
     let mut t = TextTable::new(vec!["benchmark", "accuracy", "coverage"]);
-    for &b in &SpecBenchmark::BEST_PERFORMERS {
+    for &b in &best {
         let r = run_bench(b, cfg, opts);
         let acc = r.hierarchy.addr_accuracy();
         let cov = r.correlation.and_then(|c| c.hit_rate());
-        t.row(vec![b.name().to_owned(), pct_opt(acc), pct_opt(cov)]);
+        t.row(vec![b.name(), pct_opt(acc), pct_opt(cov)]);
     }
     format!(
         "Figure 20: address accuracy and coverage of the 8 KB correlation table\n\
@@ -523,8 +515,9 @@ pub fn fig20(opts: FigureOpts) -> String {
 pub fn fig21(opts: FigureOpts) -> String {
     let mut out =
         String::from("Figure 21: timeliness of timekeeping prefetches (best performers)\n\n");
+    let best = best_workloads();
     warm(
-        &SpecBenchmark::BEST_PERFORMERS,
+        &best,
         &[SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
             CorrelationConfig::PAPER_8KB,
         ))],
@@ -539,7 +532,7 @@ pub fn fig21(opts: FigureOpts) -> String {
             "late",
             "not_started",
         ]);
-        for &b in &SpecBenchmark::BEST_PERFORMERS {
+        for &b in &best {
             let r = run_bench(
                 b,
                 SystemConfig::with_prefetch(PrefetchMode::Timekeeping(
@@ -549,7 +542,7 @@ pub fn fig21(opts: FigureOpts) -> String {
             );
             let s = &r.timeliness;
             t.row(vec![
-                b.name().to_owned(),
+                b.name(),
                 pct(s.fraction(correct, Timeliness::Early)),
                 pct(s.fraction(correct, Timeliness::Discarded)),
                 pct(s.fraction(correct, Timeliness::Timely)),
@@ -570,8 +563,9 @@ pub fn fig21(opts: FigureOpts) -> String {
 
 /// Figure 22: Venn-style summary of which mechanism helps each benchmark.
 pub fn fig22(opts: FigureOpts) -> String {
+    let suite = suite_workloads();
     warm(
-        &SpecBenchmark::ALL,
+        &suite,
         &[
             SystemConfig::base(),
             SystemConfig::ideal(),
@@ -585,7 +579,7 @@ pub fn fig22(opts: FigureOpts) -> String {
     let mut prefetch_helped = Vec::new();
     let mut both = Vec::new();
     let mut neither = Vec::new();
-    for &b in &SpecBenchmark::ALL {
+    for &b in &suite {
         let base = run_bench(b, SystemConfig::base(), opts);
         let ideal = run_bench(b, SystemConfig::ideal(), opts);
         let vc = run_bench(
@@ -603,7 +597,7 @@ pub fn fig22(opts: FigureOpts) -> String {
         let p = tk.speedup_over(&base);
         let entry = format!("{} [{}|{}]", b.name(), pct(v), pct(p));
         if potential < 0.02 {
-            few_stalls.push(b.name().to_owned());
+            few_stalls.push(b.name());
         } else if v > 0.02 && p > 0.02 {
             both.push(entry);
         } else if v > 0.02 {
@@ -664,7 +658,8 @@ pub fn dram_compare(opts: FigureOpts) -> String {
             ]
         })
         .collect();
-    warm(&SpecBenchmark::ALL, &all_cfgs, opts);
+    let suite = suite_workloads();
+    warm(&suite, &all_cfgs, opts);
 
     let mut t = TextTable::new(vec![
         "benchmark",
@@ -680,8 +675,8 @@ pub fn dram_compare(opts: FigureOpts) -> String {
     let mut pf_imps: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     // Suite-aggregate DRAM behavior of the *base* runs per banked backend.
     let mut dram_totals = [tk_sim::DramStats::default(); 3];
-    for &b in &SpecBenchmark::ALL {
-        let mut row = vec![b.name().to_owned()];
+    for &b in &suite {
+        let mut row = vec![b.name()];
         let mut pf_cells = Vec::new();
         for (i, &(_, mem)) in backends.iter().enumerate() {
             let base = run_bench(b, cfg_of(mem, None, None), opts);

@@ -22,9 +22,13 @@ pub mod fmt;
 pub mod golden;
 pub mod manifest;
 pub mod runner;
+pub mod workload;
 
 pub use engine::{memo_stats, run_jobs, set_disk_cache, Job};
-pub use runner::{run_bench, run_suite, suite_metrics, FigureOpts};
+pub use runner::{
+    best_workloads, run_bench, run_suite, suite_metrics, suite_workloads, FigureOpts,
+};
+pub use workload::{register_trace, registered_traces, TraceHandle, WorkloadId};
 
 /// Asserts that `actual` is within `pct` percent of `expected`
 /// (relative, symmetric: `|actual - expected| <= pct/100 * |expected|`).

@@ -85,6 +85,27 @@ pub fn manifest_json(
         ("check", Json::Bool(opts.check)),
         ("trace", Json::Bool(opts.trace)),
         ("profile", Json::Bool(opts.profile)),
+        ("trace_once", Json::Bool(opts.trace_once)),
+        (
+            "trace_files",
+            Json::Arr(
+                crate::workload::registered_traces()
+                    .into_iter()
+                    .map(|h| {
+                        let t = crate::workload::trace_info(h);
+                        Json::obj([
+                            ("spec", Json::Str(t.spec)),
+                            ("name", Json::Str(t.name)),
+                            ("digest", Json::Str(format!("{:016x}", t.digest))),
+                            ("format", Json::Str(t.format.to_owned())),
+                            ("records", Json::U64(t.records)),
+                            ("gzip", Json::Bool(t.compressed)),
+                            ("streaming", Json::Bool(t.streaming)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("dram", Json::Str(opts.dram.describe())),
         (
             "sample",

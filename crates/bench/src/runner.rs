@@ -27,6 +27,7 @@ use tk_sim::{RunResult, SystemConfig};
 use tk_workloads::SpecBenchmark;
 
 use crate::engine::{self, Job};
+use crate::workload::{self, WorkloadId};
 
 /// Options common to every figure run.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +72,12 @@ pub struct FigureOpts {
     /// `SystemConfig::builder()` in every figure picks it up; multi-core
     /// configs run the MESI-coherent hierarchy (`tk_sim::multicore`).
     pub cores: u32,
+    /// Whether `--trace-once` was given: registered `--trace-file`
+    /// workloads play a single pass and then pad with `O` ops instead
+    /// of looping. Like `--check`, the parser sets the process-wide
+    /// flag ([`workload::set_trace_once`]); this field records it for
+    /// manifests.
+    pub trace_once: bool,
 }
 
 impl FigureOpts {
@@ -100,6 +107,7 @@ impl FigureOpts {
             dram: tk_sim::default_mem_backend(),
             sample: tk_sim::default_sample(),
             cores: tk_sim::default_cores(),
+            trace_once: workload::trace_once(),
         }
     }
 
@@ -248,6 +256,17 @@ impl FigureOpts {
                     opts.cores = n as u32;
                     tk_sim::set_default_cores(opts.cores);
                 }
+                "--trace-file" => {
+                    // Registers the trace process-wide (like --dram's
+                    // backend default): every suite-driving helper and
+                    // figure picks it up as a first-class workload.
+                    let v = value_of(flag, inline, &mut args)?;
+                    workload::register_trace(&v).map_err(|e| format!("--trace-file: {e}"))?;
+                }
+                "--trace-once" => {
+                    opts.trace_once = true;
+                    workload::set_trace_once(true);
+                }
                 "--sample" => {
                     // Bare `--sample` selects the default parameters
                     // rather than consuming the next argument (like
@@ -330,8 +349,16 @@ fn usage() -> String {
          \x20                    clusters, time only the representatives with\n\
          \x20                    functional warmup (default {interval},{k}; results\n\
          \x20                    carry a `sampled` tag and separate cache keys)\n\
+         \x20 --trace-file=SPEC  register an external trace (PATH[:fmt], fmt\n\
+         \x20                    among text/champsim/auto/stream; gzip sniffed\n\
+         \x20                    by magic) as a first-class workload in every\n\
+         \x20                    suite-driven figure; repeatable\n\
+         \x20 --trace-once       registered traces play one pass then pad\n\
+         \x20                    with non-memory ops instead of looping\n\
          \x20 --trace[=CATS]     stream typed memory events (binary + JSONL);\n\
          \x20                    CATS filters categories, e.g. miss,fill,pf\n\
+         \x20                    (add `ref` to capture the raw reference\n\
+         \x20                    stream for tk_trace_export)\n\
          \x20 --trace-sample N   keep 1-in-N L1 sets in the trace\n\
          \x20 --profile          time the simulator's own pipeline stages\n\
          \x20 --obs-out DIR      directory for trace/profile/manifest files\n\
@@ -359,28 +386,65 @@ impl Default for FigureOpts {
     }
 }
 
-/// Runs one benchmark under one configuration (memoized).
-pub fn run_bench(bench: SpecBenchmark, cfg: SystemConfig, opts: FigureOpts) -> Arc<RunResult> {
+/// The full workload suite: every synthetic benchmark, then every
+/// trace registered with `--trace-file`, in registration order — the
+/// iteration set of every suite-driven figure.
+pub fn suite_workloads() -> Vec<WorkloadId> {
+    SpecBenchmark::ALL
+        .iter()
+        .copied()
+        .map(WorkloadId::Spec)
+        .chain(
+            workload::registered_traces()
+                .into_iter()
+                .map(WorkloadId::Trace),
+        )
+        .collect()
+}
+
+/// The best-performer subset plus every registered trace (external
+/// traces always ride along: the user asked for them by path).
+pub fn best_workloads() -> Vec<WorkloadId> {
+    SpecBenchmark::BEST_PERFORMERS
+        .iter()
+        .copied()
+        .map(WorkloadId::Spec)
+        .chain(
+            workload::registered_traces()
+                .into_iter()
+                .map(WorkloadId::Trace),
+        )
+        .collect()
+}
+
+/// Runs one workload under one configuration (memoized).
+pub fn run_bench(
+    bench: impl Into<WorkloadId>,
+    cfg: SystemConfig,
+    opts: FigureOpts,
+) -> Arc<RunResult> {
     engine::run_jobs(&[Job::new(bench, cfg, opts.seed, opts.instructions)], 1)
         .pop()
         .expect("one job in, one result out")
 }
 
-/// Runs every benchmark under `cfg` on `opts.jobs` workers, returning
-/// per-benchmark results in suite order.
-pub fn run_suite(cfg: SystemConfig, opts: FigureOpts) -> Vec<(SpecBenchmark, Arc<RunResult>)> {
-    let jobs: Vec<Job> = SpecBenchmark::ALL
+/// Runs every suite workload (benchmarks plus registered traces) under
+/// `cfg` on `opts.jobs` workers, returning per-workload results in
+/// suite order.
+pub fn run_suite(cfg: SystemConfig, opts: FigureOpts) -> Vec<(WorkloadId, Arc<RunResult>)> {
+    let suite = suite_workloads();
+    let jobs: Vec<Job> = suite
         .iter()
         .map(|&b| Job::new(b, cfg, opts.seed, opts.instructions))
         .collect();
     let results = engine::run_jobs(&jobs, opts.jobs);
-    SpecBenchmark::ALL.iter().copied().zip(results).collect()
+    suite.into_iter().zip(results).collect()
 }
 
-/// Runs the base machine on every benchmark and merges the timekeeping
-/// metrics into one suite-wide collector (the "all SPEC2000" aggregate of
-/// Figures 4, 5, 7–10 and 14).
-pub fn suite_metrics(opts: FigureOpts) -> (Vec<(SpecBenchmark, Arc<RunResult>)>, MetricsCollector) {
+/// Runs the base machine on every suite workload and merges the
+/// timekeeping metrics into one suite-wide collector (the "all
+/// SPEC2000" aggregate of Figures 4, 5, 7–10 and 14).
+pub fn suite_metrics(opts: FigureOpts) -> (Vec<(WorkloadId, Arc<RunResult>)>, MetricsCollector) {
     let results = run_suite(SystemConfig::base(), opts);
     let mut merged = MetricsCollector::new();
     for (_, r) in &results {

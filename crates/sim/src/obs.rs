@@ -81,11 +81,19 @@ pub enum TraceCategory {
     /// Coherence traffic (multi-core runs only): bus snoops,
     /// invalidations, and cache-to-cache transfers.
     Coherence,
+    /// The raw demand-reference stream (one record per load/store
+    /// entering the L1, before any cache state is consulted) — the
+    /// capture side of the capture→replay loop: `tk_trace_export`
+    /// turns these records into a replayable trace file. **Opt-in
+    /// only**: excluded from [`TraceCategories::all`] (and therefore
+    /// from bare `--trace`) because one record per reference dwarfs
+    /// every other category; select it explicitly with `--trace=ref`.
+    Ref,
 }
 
 impl TraceCategory {
     /// Every category, in presentation order.
-    pub const ALL: [TraceCategory; 10] = [
+    pub const ALL: [TraceCategory; 11] = [
         TraceCategory::Lookup,
         TraceCategory::Hit,
         TraceCategory::Miss,
@@ -96,6 +104,7 @@ impl TraceCategory {
         TraceCategory::Dram,
         TraceCategory::Sample,
         TraceCategory::Coherence,
+        TraceCategory::Ref,
     ];
 
     /// The canonical lowercase name (what `--trace=CATS` accepts).
@@ -111,6 +120,7 @@ impl TraceCategory {
             TraceCategory::Dram => "dram",
             TraceCategory::Sample => "sample",
             TraceCategory::Coherence => "coh",
+            TraceCategory::Ref => "ref",
         }
     }
 
@@ -126,6 +136,7 @@ impl TraceCategory {
             TraceCategory::Dram => 1 << 7,
             TraceCategory::Sample => 1 << 8,
             TraceCategory::Coherence => 1 << 9,
+            TraceCategory::Ref => 1 << 10,
         }
     }
 }
@@ -140,10 +151,15 @@ impl TraceCategories {
         TraceCategories(0)
     }
 
-    /// Every category.
+    /// Every category **except** [`TraceCategory::Ref`], which is
+    /// opt-in only (`--trace=ref`): the per-reference capture stream
+    /// would dwarf every other category, and excluding it keeps bare
+    /// `--trace` output (and the golden obs summaries pinned against
+    /// it) unchanged.
     pub fn all() -> Self {
         TraceCategory::ALL
             .iter()
+            .filter(|&&c| c != TraceCategory::Ref)
             .fold(Self::none(), |s, &c| s.with(c))
     }
 
@@ -163,8 +179,9 @@ impl TraceCategories {
     }
 
     /// Parses a comma-separated category list (`"miss,fill,evict"`).
-    /// `"all"` selects everything; `"pf"` is an alias for `"prefetch"`
-    /// and `"coherence"` for `"coh"`.
+    /// `"all"` selects everything except the opt-in `ref` capture
+    /// category (combine as `"all,ref"` to add it); `"pf"` is an alias
+    /// for `"prefetch"` and `"coherence"` for `"coh"`.
     ///
     /// # Errors
     ///
@@ -177,7 +194,8 @@ impl TraceCategories {
                 continue;
             }
             if part == "all" {
-                return Ok(Self::all());
+                out = TraceCategories(out.0 | Self::all().0);
+                continue;
             }
             let cat = TraceCategory::ALL.iter().copied().find(|c| {
                 c.name() == part
@@ -265,11 +283,16 @@ pub enum TraceKind {
     /// A cache-to-cache transfer: a modified line supplied by its owner
     /// (multi-core only; `aux` = from core + to core×256).
     C2c = 15,
+    /// A demand reference entering the L1, recorded before any cache
+    /// state is consulted (`--trace=ref` only; `line` = L1 line
+    /// address, `aux` = PC×2 + store bit). `tk_trace_export` rebuilds a
+    /// replayable trace file from these records.
+    Access = 16,
 }
 
 impl TraceKind {
     /// Every kind, indexable by its `u8` value.
-    pub const ALL: [TraceKind; 16] = [
+    pub const ALL: [TraceKind; 17] = [
         TraceKind::Lookup,
         TraceKind::Hit,
         TraceKind::Miss,
@@ -286,6 +309,7 @@ impl TraceKind {
         TraceKind::Snoop,
         TraceKind::Invalidate,
         TraceKind::C2c,
+        TraceKind::Access,
     ];
 
     /// The canonical name used in the JSONL encoding and summaries.
@@ -307,6 +331,7 @@ impl TraceKind {
             TraceKind::Snoop => "snoop",
             TraceKind::Invalidate => "invalidate",
             TraceKind::C2c => "c2c",
+            TraceKind::Access => "access",
         }
     }
 
@@ -325,6 +350,7 @@ impl TraceKind {
             TraceKind::DramRead | TraceKind::DramWrite => TraceCategory::Dram,
             TraceKind::SampleRep => TraceCategory::Sample,
             TraceKind::Snoop | TraceKind::Invalidate | TraceKind::C2c => TraceCategory::Coherence,
+            TraceKind::Access => TraceCategory::Ref,
         }
     }
 
@@ -731,6 +757,16 @@ impl TraceObserver {
                 Some((bin_path.clone(), jsonl_path.clone()))
             }
         }
+    }
+
+    /// Records one demand reference entering the L1 ([`TraceKind::Access`];
+    /// `aux` packs the PC and the store bit). Called from the access
+    /// pipeline before any cache state is consulted, so the captured
+    /// stream is exactly the reference stream a replay must reproduce.
+    #[inline]
+    pub(crate) fn ref_event(&mut self, now: Cycle, line: LineAddr, pc: u64, is_store: bool) {
+        let aux = pc.wrapping_mul(2).wrapping_add(u64::from(is_store));
+        self.push(TraceKind::Access, now, line, aux);
     }
 
     /// The accumulated records of a memory-sink observer (flushed first).

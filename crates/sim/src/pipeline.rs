@@ -867,6 +867,13 @@ impl MemorySystem {
         now: Cycle,
     ) -> AccessOutcome {
         self.stats.l1_accesses += 1;
+        // Capture the raw reference stream (`--trace=ref`) ahead of the
+        // ColdOnly early-return so every demand reference is recorded —
+        // exactly one Access record per l1_access.
+        if let Some(t) = self.obs.trace.as_deref_mut() {
+            let line = self.l1d.geometry().line_of(mref.addr);
+            t.ref_event(now, line, mref.pc.get(), is_store);
+        }
         if self.cfg.l1_mode == L1Mode::ColdOnly {
             return self.access_cold_only(mref, now);
         }

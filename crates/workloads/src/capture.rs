@@ -1,0 +1,127 @@
+//! Capture→replay: convert a TKTRACE1 observability capture into a
+//! replayable trace file.
+//!
+//! A run traced with `--trace=ref` records one
+//! [`TraceKind::Access`] record per demand reference entering the L1
+//! (`line` = L1 line address, `aux` = PC×2 + store bit). This module
+//! rebuilds the reference stream from those records — the conversion
+//! `tk_trace_export` performs — so a capture from one run can be fed
+//! back through `--trace-file` as a first-class workload in another.
+//!
+//! The reconstruction is line-granular: the simulator hashes addresses
+//! to lines before the observer sees them, so the replayed address is
+//! `line × block_bytes` (byte offsets within a line never influence
+//! cache behavior — DESIGN.md §2i documents the full invariant set).
+//! Chained loads and software prefetches are captured as the demand
+//! references they generate, so a replay degrades them to plain
+//! loads; on timing-free configurations the hit/miss stream is
+//! nevertheless identical (`tests/trace_roundtrip.rs` pins it).
+
+use tk_sim::obs::{TraceKind, TraceRecord};
+use tk_sim::trace::{Instr, MemRef};
+
+use timekeeping::{Addr, Pc};
+
+use crate::tracefile::render_instr;
+
+/// Rebuilds the demand-reference instruction stream from a TKTRACE1
+/// capture: every [`TraceKind::Access`] record becomes a load or store
+/// at `line × block_bytes`; all other record kinds are ignored.
+///
+/// # Errors
+///
+/// Returns a message when the capture holds no `Access` records (the
+/// run was not traced with `--trace=ref`) or `block_bytes` is 0.
+pub fn capture_to_instrs(records: &[TraceRecord], block_bytes: u64) -> Result<Vec<Instr>, String> {
+    if block_bytes == 0 {
+        return Err("block size must be nonzero".to_owned());
+    }
+    let mut out = Vec::new();
+    for rec in records {
+        if rec.kind != TraceKind::Access {
+            continue;
+        }
+        let addr = Addr::new(rec.line.wrapping_mul(block_bytes));
+        let pc = Pc::new(rec.aux >> 1);
+        let mref = MemRef::new(addr, pc);
+        out.push(if rec.aux & 1 == 1 {
+            Instr::Store(mref)
+        } else {
+            Instr::Load(mref)
+        });
+    }
+    if out.is_empty() {
+        return Err(
+            "capture holds no access records — was the source run traced with --trace=ref?"
+                .to_owned(),
+        );
+    }
+    Ok(out)
+}
+
+/// Renders a capture as text-format trace lines (the composition of
+/// [`capture_to_instrs`] and [`render_instr`]).
+///
+/// # Errors
+///
+/// As for [`capture_to_instrs`].
+pub fn capture_to_trace_text(records: &[TraceRecord], block_bytes: u64) -> Result<String, String> {
+    let instrs = capture_to_instrs(records, block_bytes)?;
+    let mut out = String::with_capacity(instrs.len() * 16);
+    for i in &instrs {
+        out.push_str(&render_instr(i));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(line: u64, pc: u64, store: bool) -> TraceRecord {
+        TraceRecord {
+            kind: TraceKind::Access,
+            cycle: 0,
+            line,
+            aux: pc * 2 + u64::from(store),
+        }
+    }
+
+    #[test]
+    fn rebuilds_loads_and_stores_at_line_granularity() {
+        let recs = vec![
+            access(0x100, 0x40, false),
+            TraceRecord {
+                kind: TraceKind::Miss,
+                cycle: 1,
+                line: 0x100,
+                aux: 0,
+            },
+            access(0x101, 0x44, true),
+        ];
+        let instrs = capture_to_instrs(&recs, 32).unwrap();
+        assert_eq!(
+            instrs,
+            vec![
+                Instr::Load(MemRef::new(Addr::new(0x100 * 32), Pc::new(0x40))),
+                Instr::Store(MemRef::new(Addr::new(0x101 * 32), Pc::new(0x44))),
+            ]
+        );
+        let text = capture_to_trace_text(&recs, 32).unwrap();
+        assert_eq!(text, "L 2000 40\nS 2020 44\n");
+    }
+
+    #[test]
+    fn rejects_captures_without_access_records() {
+        let recs = vec![TraceRecord {
+            kind: TraceKind::Miss,
+            cycle: 1,
+            line: 0x100,
+            aux: 0,
+        }];
+        let e = capture_to_instrs(&recs, 32).unwrap_err();
+        assert!(e.contains("--trace=ref"));
+        assert!(capture_to_instrs(&[access(1, 1, false)], 0).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! ChampSim-style binary memtrace importer.
+//!
+//! The format is a headerless sequence of fixed-size 17-byte
+//! little-endian records, one per retired instruction:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     kind: 0 = other, 1 = load, 2 = store
+//! 1       8     effective address (u64 LE; ignored for kind 0)
+//! 9       8     program counter   (u64 LE; ignored for kind 0)
+//! ```
+//!
+//! Mapping onto [`Instr`] is deliberately lossy in both directions; the
+//! full field-by-field accounting lives in DESIGN.md §2i. In brief:
+//!
+//! * importing: kind 0 becomes [`Instr::Op`], **dropping** the record's
+//!   address and pc (the simulator models non-memory instructions as
+//!   opaque single-cycle ops); kinds 1/2 become `Load`/`Store`. There
+//!   is no ChampSim kind for chained loads or software prefetches, so
+//!   none are produced.
+//! * exporting ([`render_record`]): `ChainedLoad` and `SwPrefetch`
+//!   degrade to kind 1 (load) — the dependence-chain and prefetch hints
+//!   do not survive a ChampSim round-trip, only the reference stream.
+//!
+//! Malformed input — an unknown kind byte or a truncated trailing
+//! record — yields a structured [`ParseTraceError`] carrying the
+//! 1-based *record* index and absolute byte offset (the binary
+//! counterpart of [`ParseTraceError::line`]).
+
+use std::io::Read;
+
+use timekeeping::{Addr, Pc};
+use tk_sim::trace::{Instr, MemRef};
+
+use crate::tracefile::ParseTraceError;
+
+/// Bytes per ChampSim-style record.
+pub const RECORD_BYTES: usize = 17;
+
+const KIND_OTHER: u8 = 0;
+const KIND_LOAD: u8 = 1;
+const KIND_STORE: u8 = 2;
+
+/// Decodes one record (exactly [`RECORD_BYTES`] bytes). `index` is the
+/// 1-based record number, used only for error reporting.
+///
+/// # Errors
+///
+/// Unknown kind bytes produce a [`ParseTraceError`] locating the record.
+pub fn parse_record(buf: &[u8; RECORD_BYTES], index: u64) -> Result<Instr, ParseTraceError> {
+    let addr = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+    let pc = u64::from_le_bytes(buf[9..17].try_into().expect("8 bytes"));
+    match buf[0] {
+        KIND_OTHER => Ok(Instr::Op),
+        KIND_LOAD => Ok(Instr::Load(MemRef::new(Addr::new(addr), Pc::new(pc)))),
+        KIND_STORE => Ok(Instr::Store(MemRef::new(Addr::new(addr), Pc::new(pc)))),
+        kind => Err(ParseTraceError::at_record(
+            index,
+            (index - 1) * RECORD_BYTES as u64,
+            format!("unknown ChampSim kind byte {kind} (expected 0, 1 or 2)"),
+        )),
+    }
+}
+
+/// Encodes one instruction as a ChampSim record. The inverse of
+/// [`parse_record`] on the `Op`/`Load`/`Store` subset; `ChainedLoad`
+/// and `SwPrefetch` degrade to plain loads (documented lossy mapping).
+pub fn render_record(instr: &Instr) -> [u8; RECORD_BYTES] {
+    let mut buf = [0u8; RECORD_BYTES];
+    let (kind, mref) = match instr {
+        Instr::Op => (KIND_OTHER, None),
+        Instr::Load(m) | Instr::ChainedLoad(m) | Instr::SwPrefetch(m) => (KIND_LOAD, Some(m)),
+        Instr::Store(m) => (KIND_STORE, Some(m)),
+    };
+    buf[0] = kind;
+    if let Some(m) = mref {
+        buf[1..9].copy_from_slice(&m.addr.get().to_le_bytes());
+        buf[9..17].copy_from_slice(&m.pc.get().to_le_bytes());
+    }
+    buf
+}
+
+/// Streams records from a reader, decoding each into an [`Instr`].
+///
+/// # Errors
+///
+/// A trailing partial record (stream length not a multiple of
+/// [`RECORD_BYTES`]), I/O failures, and unknown kind bytes all produce
+/// [`ParseTraceError`]s with the record index and byte offset.
+pub fn read_records<R: Read>(
+    mut reader: R,
+    mut sink: impl FnMut(Instr) -> Result<(), ParseTraceError>,
+) -> Result<(), ParseTraceError> {
+    let mut buf = [0u8; RECORD_BYTES];
+    let mut index: u64 = 0;
+    loop {
+        index += 1;
+        let offset = (index - 1) * RECORD_BYTES as u64;
+        let mut got = 0;
+        while got < RECORD_BYTES {
+            match reader.read(&mut buf[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(ParseTraceError::at_record(
+                        index,
+                        offset,
+                        format!("read error: {e}"),
+                    ))
+                }
+            }
+        }
+        if got == 0 {
+            return Ok(());
+        }
+        if got < RECORD_BYTES {
+            return Err(ParseTraceError::at_record(
+                index,
+                offset,
+                format!("truncated record: {got} of {RECORD_BYTES} bytes"),
+            ));
+        }
+        sink(parse_record(&buf, index)?)?;
+    }
+}
+
+/// Renders a whole instruction sequence as ChampSim bytes (the
+/// concatenation of [`render_record`]).
+pub fn render_trace(instrs: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(instrs.len() * RECORD_BYTES);
+    for i in instrs {
+        out.extend_from_slice(&render_record(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mref(a: u64, p: u64) -> MemRef {
+        MemRef::new(Addr::new(a), Pc::new(p))
+    }
+
+    #[test]
+    fn render_parse_inverse_on_supported_subset() {
+        let instrs = [
+            Instr::Op,
+            Instr::Load(mref(0x7f00_1040, 0x400a)),
+            Instr::Store(mref(0x7f00_1048, 0x4012)),
+            Instr::Load(mref(u64::MAX, 0)),
+        ];
+        let bytes = render_trace(&instrs);
+        let mut got = Vec::new();
+        read_records(&bytes[..], |i| {
+            got.push(i);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, instrs);
+    }
+
+    #[test]
+    fn chained_and_prefetch_degrade_to_loads() {
+        for instr in [
+            Instr::ChainedLoad(mref(0x100, 0x1)),
+            Instr::SwPrefetch(mref(0x100, 0x1)),
+        ] {
+            let rec = render_record(&instr);
+            assert_eq!(
+                parse_record(&rec, 1).unwrap(),
+                Instr::Load(mref(0x100, 0x1))
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_reports_record_and_byte_offset() {
+        let mut bytes = render_trace(&[Instr::Op, Instr::Op]);
+        bytes.extend_from_slice(&[9u8; RECORD_BYTES]); // record 3, bad kind
+        let mut n = 0;
+        let e = read_records(&bytes[..], |_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(n, 2);
+        assert_eq!(e.record(), Some(3));
+        assert_eq!(e.byte_offset(), Some(2 * RECORD_BYTES as u64));
+        assert!(e.to_string().contains("unknown ChampSim kind byte 9"));
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_an_error() {
+        let mut bytes = render_trace(&[Instr::Op]);
+        bytes.push(1); // one stray byte
+        let e = read_records(&bytes[..], |_| Ok(())).unwrap_err();
+        assert_eq!(e.record(), Some(2));
+        assert!(e.to_string().contains("truncated record"));
+    }
+}

@@ -1,0 +1,810 @@
+//! Dependency-free gzip (RFC 1952) decompression and a stored-block
+//! compressor, so multi-GB compressed trace captures ingest without any
+//! external crate.
+//!
+//! The centerpiece is [`GzDecoder`], a streaming [`Read`] adapter that
+//! inflates DEFLATE (RFC 1951) members incrementally: it holds only an
+//! 8 KiB input buffer, the 32 KiB LZ77 back-reference window, and a
+//! small staging buffer — never the whole decompressed stream — so a
+//! trace reader layered on top of it ([`crate::tracefile`]) can walk
+//! arbitrarily large captures in constant memory. All three DEFLATE
+//! block types (stored, fixed Huffman, dynamic Huffman) are supported,
+//! per-member CRC32 and ISIZE trailers are verified, and multi-member
+//! concatenations (`cat a.gz b.gz`) decode as one stream, exactly like
+//! `gunzip`.
+//!
+//! Corrupt input of any shape — byte soup, truncated members, bad
+//! Huffman tables, over-subscribed codes, out-of-window distances, bad
+//! checksums — surfaces as [`std::io::Error`] with
+//! [`std::io::ErrorKind::InvalidData`] or
+//! [`std::io::ErrorKind::UnexpectedEof`];
+//! the decoder never panics (pinned by the fuzz tests in
+//! `tests/trace_ingest.rs`).
+//!
+//! The matching writer, [`gzip_store`], emits *stored* (uncompressed)
+//! DEFLATE blocks with a correct header and trailer. That trades
+//! compression ratio for simplicity — it exists so tests, CI smokes and
+//! `tk_trace_export --gzip` can produce files any gzip implementation
+//! (including this decoder) accepts.
+
+use std::io::{Error, ErrorKind, Read, Result};
+
+/// The two-byte magic opening every gzip member.
+pub const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// Whether `head` starts with the gzip magic (transparent-decompression
+/// sniff used by the trace readers).
+pub fn is_gzip(head: &[u8]) -> bool {
+    head.len() >= 2 && head[0] == GZIP_MAGIC[0] && head[1] == GZIP_MAGIC[1]
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn eof(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::UnexpectedEof, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (the gzip polynomial, reflected)
+// ---------------------------------------------------------------------------
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (n, e) in t.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC32 of `data` (the gzip/zlib polynomial), for trailers and tests.
+pub fn crc32(data: &[u8]) -> u32 {
+    update_crc(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+fn update_crc(crc: u32, data: &[u8]) -> u32 {
+    let t = crc_table();
+    let mut c = crc;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+// ---------------------------------------------------------------------------
+// Huffman decoding (canonical codes, puff-style)
+// ---------------------------------------------------------------------------
+
+const MAX_BITS: usize = 15;
+
+/// A canonical Huffman code: symbol counts per code length plus the
+/// symbols sorted by (length, symbol) — enough to decode bit-by-bit.
+struct Huffman {
+    count: [u16; MAX_BITS + 1],
+    symbol: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds the decode tables from per-symbol code lengths; rejects
+    /// over-subscribed codes (an incomplete code is tolerated, matching
+    /// zlib — it only errors if the stream actually uses a gap).
+    fn new(lengths: &[u16]) -> Result<Huffman> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            if len as usize > MAX_BITS {
+                return Err(bad("code length exceeds 15 bits"));
+            }
+            count[len as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            return Err(bad("empty Huffman code"));
+        }
+        let mut left: i32 = 1;
+        for c in &count[1..] {
+            left <<= 1;
+            left -= i32::from(*c);
+            if left < 0 {
+                return Err(bad("over-subscribed Huffman code"));
+            }
+        }
+        let mut offs = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offs[len + 1] = offs[len] + count[len];
+        }
+        let mut symbol = vec![0u16; lengths.len()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbol[offs[len as usize] as usize] = sym as u16;
+                offs[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbol })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming decoder
+// ---------------------------------------------------------------------------
+
+const WINDOW: usize = 32 * 1024;
+const INBUF: usize = 8 * 1024;
+
+/// What the decoder does next when its staging buffer drains.
+enum State {
+    /// At the start of a gzip member header (or EOF, if no byte follows).
+    Member,
+    /// Between DEFLATE blocks; `true` once the final block has closed.
+    BlockBoundary(bool),
+    /// Inside a stored block with this many bytes left to copy.
+    Stored { remaining: u16, final_block: bool },
+    /// Inside a compressed block with these live decode tables.
+    Huff {
+        lit: Huffman,
+        dist: Huffman,
+        final_block: bool,
+    },
+    /// Clean end of the whole stream.
+    Done,
+}
+
+/// A streaming gzip inflater: wraps any [`Read`] of gzip bytes and
+/// yields the decompressed bytes, member after member, in constant
+/// memory.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Read;
+/// use tk_workloads::gzip::{gzip_store, GzDecoder};
+///
+/// let gz = gzip_store(b"L 1040 400\nO\n");
+/// let mut out = String::new();
+/// GzDecoder::new(&gz[..]).read_to_string(&mut out)?;
+/// assert_eq!(out, "L 1040 400\nO\n");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct GzDecoder<R: Read> {
+    inner: R,
+    inbuf: [u8; INBUF],
+    inpos: usize,
+    inlen: usize,
+    bitbuf: u32,
+    bitcnt: u32,
+    window: Box<[u8; WINDOW]>,
+    /// Total bytes decoded in the current member (ISIZE check and
+    /// back-reference range check).
+    member_out: u64,
+    crc: u32,
+    state: State,
+    /// Decoded bytes staged for the caller.
+    out: Vec<u8>,
+    outpos: usize,
+}
+
+impl<R: Read> std::fmt::Debug for GzDecoder<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GzDecoder")
+            .field("member_out", &self.member_out)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> GzDecoder<R> {
+    /// Wraps a reader of gzip bytes.
+    pub fn new(inner: R) -> Self {
+        GzDecoder {
+            inner,
+            inbuf: [0; INBUF],
+            inpos: 0,
+            inlen: 0,
+            bitbuf: 0,
+            bitcnt: 0,
+            window: Box::new([0; WINDOW]),
+            member_out: 0,
+            crc: 0xffff_ffff,
+            state: State::Member,
+            out: Vec::with_capacity(4096),
+            outpos: 0,
+        }
+    }
+
+    /// Next raw input byte, or `None` at a clean end of input.
+    fn try_byte(&mut self) -> Result<Option<u8>> {
+        if self.inpos == self.inlen {
+            self.inpos = 0;
+            self.inlen = loop {
+                match self.inner.read(&mut self.inbuf) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            if self.inlen == 0 {
+                return Ok(None);
+            }
+        }
+        let b = self.inbuf[self.inpos];
+        self.inpos += 1;
+        Ok(Some(b))
+    }
+
+    fn byte(&mut self) -> Result<u8> {
+        self.try_byte()?
+            .ok_or_else(|| eof("unexpected end of gzip stream"))
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32> {
+        while self.bitcnt < n {
+            let b = self.byte()?;
+            self.bitbuf |= u32::from(b) << self.bitcnt;
+            self.bitcnt += 8;
+        }
+        let v = self.bitbuf & ((1u32 << n) - 1);
+        self.bitbuf >>= n;
+        self.bitcnt -= n;
+        Ok(v)
+    }
+
+    /// Discards the partial byte so the next read is byte-aligned.
+    fn align(&mut self) {
+        self.bitbuf = 0;
+        self.bitcnt = 0;
+    }
+
+    fn decode(&mut self, which: Which) -> Result<u16> {
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for len in 1..=MAX_BITS {
+            code |= self.bits(1)? as i32;
+            let count = {
+                let h = match (&self.state, which) {
+                    (State::Huff { lit, .. }, Which::Lit) => lit,
+                    (State::Huff { dist, .. }, Which::Dist) => dist,
+                    _ => return Err(bad("decode outside a Huffman block")),
+                };
+                i32::from(h.count[len])
+            };
+            if code - count < first {
+                let h = match (&self.state, which) {
+                    (State::Huff { lit, .. }, Which::Lit) => lit,
+                    (State::Huff { dist, .. }, Which::Dist) => dist,
+                    _ => unreachable!("state checked above"),
+                };
+                return Ok(h.symbol[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(bad("invalid Huffman code (no symbol within 15 bits)"))
+    }
+
+    /// Emits one decoded byte into the window, the CRC and the staging
+    /// buffer.
+    fn emit(&mut self, b: u8) {
+        self.window[(self.member_out % WINDOW as u64) as usize] = b;
+        self.member_out += 1;
+        self.crc = update_crc_byte(self.crc, b);
+        self.out.push(b);
+    }
+
+    /// Parses one gzip member header (the magic already consumed is
+    /// passed in `magic0`/`magic1` by the caller).
+    fn read_header(&mut self, magic: [u8; 2]) -> Result<()> {
+        if magic != GZIP_MAGIC {
+            return Err(bad("not a gzip stream (bad magic)"));
+        }
+        let cm = self.byte()?;
+        if cm != 8 {
+            return Err(bad(format!("unsupported compression method {cm}")));
+        }
+        let flg = self.byte()?;
+        if flg & 0xe0 != 0 {
+            return Err(bad("reserved gzip header flags set"));
+        }
+        for _ in 0..6 {
+            self.byte()?; // MTIME, XFL, OS
+        }
+        if flg & 0x04 != 0 {
+            // FEXTRA
+            let xlen = u16::from_le_bytes([self.byte()?, self.byte()?]);
+            for _ in 0..xlen {
+                self.byte()?;
+            }
+        }
+        if flg & 0x08 != 0 {
+            // FNAME
+            while self.byte()? != 0 {}
+        }
+        if flg & 0x10 != 0 {
+            // FCOMMENT
+            while self.byte()? != 0 {}
+        }
+        if flg & 0x02 != 0 {
+            // FHCRC
+            self.byte()?;
+            self.byte()?;
+        }
+        self.member_out = 0;
+        self.crc = 0xffff_ffff;
+        Ok(())
+    }
+
+    /// Verifies the member trailer (CRC32 + ISIZE) against the running
+    /// values.
+    fn read_trailer(&mut self) -> Result<()> {
+        self.align();
+        let mut w = [0u8; 8];
+        for b in &mut w {
+            *b = self.byte()?;
+        }
+        let want_crc = u32::from_le_bytes(w[0..4].try_into().expect("4 bytes"));
+        let want_len = u32::from_le_bytes(w[4..8].try_into().expect("4 bytes"));
+        if want_crc != self.crc ^ 0xffff_ffff {
+            return Err(bad("gzip CRC32 mismatch"));
+        }
+        if want_len != (self.member_out & 0xffff_ffff) as u32 {
+            return Err(bad("gzip ISIZE mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Reads one block header and installs the matching state.
+    fn enter_block(&mut self) -> Result<()> {
+        let final_block = self.bits(1)? == 1;
+        match self.bits(2)? {
+            0 => {
+                self.align();
+                let len = u16::from_le_bytes([self.byte()?, self.byte()?]);
+                let nlen = u16::from_le_bytes([self.byte()?, self.byte()?]);
+                if len != !nlen {
+                    return Err(bad("stored block LEN/NLEN mismatch"));
+                }
+                self.state = State::Stored {
+                    remaining: len,
+                    final_block,
+                };
+            }
+            1 => {
+                let (lit, dist) = fixed_tables()?;
+                self.state = State::Huff {
+                    lit,
+                    dist,
+                    final_block,
+                };
+            }
+            2 => {
+                let (lit, dist) = self.dynamic_tables()?;
+                self.state = State::Huff {
+                    lit,
+                    dist,
+                    final_block,
+                };
+            }
+            _ => return Err(bad("reserved DEFLATE block type 3")),
+        }
+        Ok(())
+    }
+
+    /// Reads a dynamic-Huffman block's code descriptions.
+    fn dynamic_tables(&mut self) -> Result<(Huffman, Huffman)> {
+        const ORDER: [usize; 19] = [
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+        ];
+        let hlit = self.bits(5)? as usize + 257;
+        let hdist = self.bits(5)? as usize + 1;
+        let hclen = self.bits(4)? as usize + 4;
+        if hlit > 286 || hdist > 30 {
+            return Err(bad("too many literal/distance codes"));
+        }
+        let mut cl_lengths = [0u16; 19];
+        for &o in ORDER.iter().take(hclen) {
+            cl_lengths[o] = self.bits(3)? as u16;
+        }
+        let cl = Huffman::new(&cl_lengths)?;
+        // Decode the combined literal+distance code lengths. The
+        // code-length decode loop cannot use `self.decode` (state still
+        // holds the previous block), so decode inline against `cl`.
+        let mut lengths = vec![0u16; hlit + hdist];
+        let mut i = 0;
+        while i < lengths.len() {
+            let sym = self.decode_with(&cl)?;
+            match sym {
+                0..=15 => {
+                    lengths[i] = sym;
+                    i += 1;
+                }
+                16 => {
+                    if i == 0 {
+                        return Err(bad("repeat with no previous code length"));
+                    }
+                    let prev = lengths[i - 1];
+                    let n = 3 + self.bits(2)? as usize;
+                    if i + n > lengths.len() {
+                        return Err(bad("code-length repeat overflows"));
+                    }
+                    for e in &mut lengths[i..i + n] {
+                        *e = prev;
+                    }
+                    i += n;
+                }
+                17 | 18 => {
+                    let n = if sym == 17 {
+                        3 + self.bits(3)? as usize
+                    } else {
+                        11 + self.bits(7)? as usize
+                    };
+                    if i + n > lengths.len() {
+                        return Err(bad("code-length repeat overflows"));
+                    }
+                    i += n; // already zero
+                }
+                _ => return Err(bad("invalid code-length symbol")),
+            }
+        }
+        if lengths[256] == 0 {
+            return Err(bad("no end-of-block code"));
+        }
+        let lit = Huffman::new(&lengths[..hlit])?;
+        let dist = Huffman::new(&lengths[hlit..])?;
+        Ok((lit, dist))
+    }
+
+    /// Bit-by-bit canonical decode against a standalone table (used for
+    /// the code-length code, where `self.state` is not yet a Huff block).
+    fn decode_with(&mut self, h: &Huffman) -> Result<u16> {
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for len in 1..=MAX_BITS {
+            code |= self.bits(1)? as i32;
+            let count = i32::from(h.count[len]);
+            if code - count < first {
+                return Ok(h.symbol[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(bad("invalid Huffman code (no symbol within 15 bits)"))
+    }
+
+    /// Advances the decoder until staged output is available or the
+    /// stream cleanly ends. Each call does a bounded amount of work.
+    fn step(&mut self) -> Result<()> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Member => match self.try_byte()? {
+                None => self.state = State::Done,
+                Some(m0) => {
+                    let m1 = self.byte()?;
+                    self.read_header([m0, m1])?;
+                    self.state = State::BlockBoundary(false);
+                }
+            },
+            State::BlockBoundary(final_done) => {
+                if final_done {
+                    self.read_trailer()?;
+                    self.state = State::Member;
+                } else {
+                    self.state = State::BlockBoundary(false);
+                    self.enter_block()?;
+                }
+            }
+            State::Stored {
+                remaining,
+                final_block,
+            } => {
+                let n = usize::from(remaining).min(INBUF);
+                for _ in 0..n {
+                    let b = self.byte()?;
+                    self.emit(b);
+                }
+                let left = remaining - n as u16;
+                self.state = if left == 0 {
+                    State::BlockBoundary(final_block)
+                } else {
+                    State::Stored {
+                        remaining: left,
+                        final_block,
+                    }
+                };
+            }
+            State::Huff {
+                lit,
+                dist,
+                final_block,
+            } => {
+                self.state = State::Huff {
+                    lit,
+                    dist,
+                    final_block,
+                };
+                // Decode symbols until a chunk of output is staged or
+                // the block ends.
+                while self.out.len() - self.outpos < 4096 {
+                    let sym = self.decode(Which::Lit)?;
+                    match sym {
+                        0..=255 => self.emit(sym as u8),
+                        256 => {
+                            self.state = State::BlockBoundary(final_block);
+                            break;
+                        }
+                        257..=285 => {
+                            let idx = sym as usize - 257;
+                            let len =
+                                usize::from(LEN_BASE[idx]) + self.bits(LEN_EXTRA[idx])? as usize;
+                            let dsym = self.decode(Which::Dist)? as usize;
+                            if dsym >= 30 {
+                                return Err(bad("invalid distance symbol"));
+                            }
+                            let d = u64::from(DIST_BASE[dsym])
+                                + u64::from(self.bits(DIST_EXTRA[dsym])?);
+                            if d > self.member_out || d as usize > WINDOW {
+                                return Err(bad("distance too far back"));
+                            }
+                            for _ in 0..len {
+                                let b =
+                                    self.window[((self.member_out - d) % WINDOW as u64) as usize];
+                                self.emit(b);
+                            }
+                        }
+                        _ => return Err(bad("invalid literal/length symbol")),
+                    }
+                }
+            }
+            State::Done => {}
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    Lit,
+    Dist,
+}
+
+#[inline]
+fn update_crc_byte(crc: u32, b: u8) -> u32 {
+    crc_table()[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8)
+}
+
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// The fixed-Huffman tables of RFC 1951 §3.2.6.
+fn fixed_tables() -> Result<(Huffman, Huffman)> {
+    let mut lit_lengths = [0u16; 288];
+    for (sym, len) in lit_lengths.iter_mut().enumerate() {
+        *len = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist_lengths = [5u16; 30];
+    Ok((Huffman::new(&lit_lengths)?, Huffman::new(&dist_lengths)?))
+}
+
+impl<R: Read> Read for GzDecoder<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.outpos == self.out.len() {
+            if matches!(self.state, State::Done) {
+                return Ok(0);
+            }
+            // Reclaim the staging buffer between refills.
+            self.out.clear();
+            self.outpos = 0;
+            self.step()?;
+        }
+        let n = buf.len().min(self.out.len() - self.outpos);
+        buf[..n].copy_from_slice(&self.out[self.outpos..self.outpos + n]);
+        self.outpos += n;
+        Ok(n)
+    }
+}
+
+/// Decompresses a complete in-memory gzip stream (convenience wrapper
+/// over [`GzDecoder`]).
+///
+/// # Errors
+///
+/// Any decode failure, as for [`GzDecoder`].
+pub fn gunzip(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    GzDecoder::new(bytes).read_to_end(&mut out)?;
+    Ok(out)
+}
+
+/// Compresses `data` into a valid single-member gzip stream of *stored*
+/// (uncompressed) DEFLATE blocks: correct header, block framing, CRC32
+/// and ISIZE, zero compression. Output is ~0.005% larger than the input
+/// plus 18 bytes of framing.
+pub fn gzip_store(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 64);
+    // Header: magic, deflate, no flags, zero mtime, no XFL, OS=unknown.
+    out.extend_from_slice(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255]);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let len = chunk.len() as u16;
+        out.push(if chunks.peek().is_none() { 0x01 } else { 0x00 });
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn crc32_reference_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn store_round_trips() {
+        for len in [0usize, 1, 100, 0xffff, 0x10000, 200_000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let gz = gzip_store(&data);
+            assert!(is_gzip(&gz));
+            assert_eq!(gunzip(&gz).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn multi_member_concatenation_decodes_like_gunzip() {
+        let mut gz = gzip_store(b"hello ");
+        gz.extend_from_slice(&gzip_store(b"world"));
+        assert_eq!(gunzip(&gz).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn zlib_fixed_huffman_member_decodes() {
+        // A fixed-Huffman member produced by zlib (level 9 compression
+        // of "a"×32 + "\n"): exercises the compressed-block path with
+        // real back-references.
+        let gz: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x4b, 0x4c, 0xc4, 0x0f,
+            0xb8, 0x00, 0x1b, 0x53, 0x7c, 0xfc, 0x21, 0x00, 0x00, 0x00,
+        ];
+        let want: Vec<u8> = vec![b'a'; 32].into_iter().chain([b'\n']).collect();
+        assert_eq!(gunzip(gz).unwrap(), want);
+    }
+
+    #[test]
+    fn zlib_dynamic_huffman_member_decodes() {
+        // zlib level-9 compression of ((i*7)%251 for i in 0..4096)
+        // repeated 4×: a dynamic-Huffman member with long-range
+        // back-references spanning the full 4 KiB period.
+        let gz: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0xed, 0xd7, 0x57, 0x3b,
+            0x10, 0x00, 0x00, 0x46, 0x61, 0x2b, 0x44, 0x19, 0xd9, 0x29, 0xab, 0x61, 0x6f, 0x32,
+            0xb2, 0x57, 0x49, 0x65, 0x96, 0xbd, 0xb7, 0x52, 0x08, 0xd9, 0x94, 0x3d, 0x5b, 0x36,
+            0x65, 0x96, 0x59, 0xd9, 0x7b, 0xef, 0xbd, 0x57, 0xd1, 0xce, 0x08, 0x45, 0x52, 0xe1,
+            0xca, 0xdf, 0xf0, 0x3c, 0xbe, 0x9f, 0xf0, 0x9e, 0xbb, 0x43, 0x40, 0x46, 0xc5, 0x70,
+            0xea, 0x0c, 0x9f, 0xa8, 0xb4, 0xa2, 0xc6, 0x35, 0x03, 0x53, 0x1b, 0x67, 0xb7, 0xfb,
+            0x41, 0xe1, 0x71, 0xcf, 0xd2, 0x73, 0x0a, 0xdf, 0xd6, 0x34, 0x77, 0x0d, 0x4e, 0xbc,
+            0xfb, 0xbc, 0xfc, 0xeb, 0x2f, 0x21, 0x39, 0x35, 0xe3, 0xe9, 0xb3, 0xfc, 0x62, 0x32,
+            0x4a, 0x97, 0xae, 0xdf, 0x30, 0xb3, 0x75, 0x71, 0xf7, 0x09, 0x8e, 0x88, 0x4f, 0xcc,
+            0xc8, 0x2d, 0x2a, 0xab, 0x6d, 0xe9, 0x1e, 0x9a, 0x7c, 0xff, 0x65, 0x65, 0xe3, 0x1f,
+            0xd1, 0x51, 0x1a, 0x26, 0xb6, 0x73, 0x02, 0xe2, 0xb2, 0xca, 0x97, 0xb5, 0x6f, 0x9a,
+            0xdb, 0xdd, 0xf2, 0xf0, 0x0d, 0x89, 0x4c, 0x48, 0xca, 0xcc, 0x2b, 0x2e, 0xaf, 0x6b,
+            0xed, 0x19, 0x9e, 0x9a, 0xff, 0xfa, 0x63, 0xf3, 0x3f, 0x31, 0x05, 0x2d, 0x33, 0xfb,
+            0x79, 0x41, 0x89, 0x8b, 0x2a, 0x9a, 0x3a, 0x86, 0x16, 0xf6, 0xb7, 0xef, 0xf9, 0x3d,
+            0x88, 0x7a, 0x94, 0xfc, 0x3c, 0xbf, 0xa4, 0xa2, 0xbe, 0xad, 0x77, 0x64, 0x7a, 0xe1,
+            0xdb, 0xea, 0xef, 0x1d, 0x12, 0xca, 0x13, 0x2c, 0x1c, 0xdc, 0x42, 0x92, 0x72, 0xaa,
+            0x57, 0x74, 0x8d, 0x2c, 0x1d, 0x5c, 0x3d, 0xfd, 0x1f, 0x46, 0x3f, 0x4e, 0x79, 0xf1,
+            0xb2, 0xb4, 0xb2, 0xa1, 0xbd, 0x6f, 0x74, 0xe6, 0xc3, 0xf7, 0xb5, 0xad, 0xdd, 0x23,
+            0xc7, 0xe8, 0x4e, 0x72, 0xf2, 0x08, 0x5f, 0x90, 0x57, 0xd3, 0xd2, 0x33, 0xb6, 0x72,
+            0xbc, 0xe3, 0x15, 0x10, 0x1a, 0xf3, 0x24, 0x35, 0xeb, 0xd5, 0xeb, 0xaa, 0xc6, 0x8e,
+            0xfe, 0xb1, 0xd9, 0x8f, 0x8b, 0xeb, 0x7f, 0xf6, 0x48, 0x8f, 0xd3, 0xb3, 0x72, 0xf1,
+            0x8a, 0x48, 0x29, 0xa8, 0x5f, 0xd5, 0x37, 0xb1, 0x76, 0xba, 0xeb, 0x1d, 0x18, 0x16,
+            0xfb, 0x34, 0x2d, 0xbb, 0xe0, 0x4d, 0x75, 0x53, 0xe7, 0xc0, 0xf8, 0xdc, 0xa7, 0xa5,
+            0x9f, 0xdb, 0x04, 0xa0, 0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x0e, 0x3a, 0xe8, 0xa0,
+            0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x7e, 0x58, 0xe8, 0x48, 0x09, 0x3a, 0xe8, 0xa0,
+            0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x0e, 0x3a, 0xe8,
+            0xf8, 0x7f, 0xa4, 0x04, 0x1d, 0x74, 0xd0, 0x41, 0x07, 0x1d, 0x74, 0xd0, 0x41, 0x07,
+            0x1d, 0x74, 0xd0, 0x41, 0x07, 0x1d, 0x74, 0xfc, 0x3f, 0x52, 0x82, 0x0e, 0x3a, 0xe8,
+            0xa0, 0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x0e, 0x3a, 0xe8, 0xa0, 0x83, 0x0e, 0xfa,
+            0xc1, 0xa7, 0xef, 0x03, 0xe9, 0x19, 0xd0, 0xc5, 0x00, 0x40, 0x00, 0x00,
+        ];
+        let want: Vec<u8> = (0..4u32)
+            .flat_map(|_| (0..4096u32).map(|i| ((i * 7) % 251) as u8))
+            .collect();
+        assert_eq!(gunzip(gz).unwrap(), want);
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic() {
+        // Truncations of a valid stream at every byte boundary. Cut 0
+        // is exempt: zero members is a clean (empty) stream, matching
+        // the multi-member concatenation rule.
+        let gz = gzip_store(b"some reasonably sized payload for truncation");
+        for cut in 1..gz.len() {
+            assert!(gunzip(&gz[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flipped bytes anywhere must error (CRC or structure) or —
+        // never — panic. (Flips in skipped header fields like MTIME can
+        // legitimately still decode.)
+        for i in 0..gz.len() {
+            let mut bad = gz.clone();
+            bad[i] ^= 0x5a;
+            let _ = gunzip(&bad);
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics() {
+        let mut rng = Rng::new(0x6211_9deb);
+        for _ in 0..2_000 {
+            let len = rng.below(300) as usize;
+            let mut soup: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            // Half the cases get a valid magic so decode reaches the
+            // header/deflate machinery instead of failing at byte 0.
+            if rng.chance(1, 2) && soup.len() >= 2 {
+                soup[0] = 0x1f;
+                soup[1] = 0x8b;
+            }
+            let _ = gunzip(&soup);
+        }
+    }
+
+    #[test]
+    fn streaming_read_yields_identical_bytes_in_small_chunks() {
+        let data: Vec<u8> = (0..100_000u64).flat_map(|i| i.to_le_bytes()).collect();
+        let gz = gzip_store(&data);
+        let mut dec = GzDecoder::new(&gz[..]);
+        let mut got = Vec::new();
+        let mut buf = [0u8; 7]; // deliberately tiny, unaligned reads
+        loop {
+            let n = dec.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, data);
+    }
+}

@@ -25,6 +25,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod capture;
+pub mod champsim;
+pub mod gzip;
 pub mod multiprog;
 pub mod patterns;
 pub mod profile;
@@ -32,11 +35,12 @@ pub mod rng;
 pub mod spec;
 pub mod tracefile;
 
+pub use capture::{capture_to_instrs, capture_to_trace_text};
 pub use multiprog::{ConcurrentMix, Multiprogrammed};
 pub use profile::{Burstiness, SwPrefetchPolicy, SyntheticWorkload};
 pub use rng::Rng;
 pub use spec::{BenchGroup, SpecBenchmark};
-pub use tracefile::{render_instr, ParseTraceError, TraceFileWorkload};
+pub use tracefile::{render_instr, ParseTraceError, TraceFileWorkload, TraceFormat};
 
 /// The crate version, for run manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,50 +1,173 @@
 //! External trace support: drive the simulator with reference traces
 //! captured from real programs instead of the synthetic generators.
 //!
-//! The format is one event per line, whitespace-separated:
+//! Two on-disk formats are understood, both transparently
+//! gzip-decompressed (members are sniffed by magic, never by file
+//! extension):
 //!
-//! ```text
-//! # comment lines and blank lines are ignored
-//! O                 # a non-memory instruction
-//! L 7f001040 400a   # load      <hex addr> <hex pc>
-//! C 7f002000 400e   # chained (address-dependent) load
-//! S 7f001048 4012   # store
-//! P 7f003000 4016   # software prefetch
-//! ```
+//! * **text** — one event per line, whitespace-separated:
+//!
+//!   ```text
+//!   # comment lines and blank lines are ignored
+//!   O                 # a non-memory instruction
+//!   L 7f001040 400a   # load      <hex addr> <hex pc>
+//!   C 7f002000 400e   # chained (address-dependent) load
+//!   S 7f001048 4012   # store
+//!   P 7f003000 4016   # software prefetch
+//!   ```
+//!
+//! * **champsim** — headerless 17-byte binary records (see
+//!   [`crate::champsim`]), selected by a `.champsim` extension or an
+//!   explicit format tag.
+//!
+//! [`TraceFileWorkload::open_spec`] accepts the `PATH[:fmt]` syntax the
+//! `--trace-file` CLI flag uses: `fmt` is any of `text`, `champsim`,
+//! `auto` (extension sniff, the default) and the orthogonal `stream`
+//! (force the constant-memory streaming backend). Tags stack:
+//! `capture.bin:champsim:stream`.
+//!
+//! Every open validates the *entire* trace up front — structured
+//! [`ParseTraceError`]s with line numbers (text) or record indices and
+//! byte offsets (champsim) — and computes a format- and
+//! compression-independent FNV-1a [`digest`](TraceFileWorkload::digest)
+//! of the decoded instruction stream, which the bench engine folds into
+//! cache keys and sampling fingerprints so two different traces can
+//! never alias.
+//!
+//! Files at or above 64 MiB (and any open with the `stream` tag) use a
+//! streaming backend that re-reads from disk on every loop instead of
+//! materializing the instruction vector, so multi-GB captures replay in
+//! constant memory.
 //!
 //! The trace loops when exhausted, so any instruction budget can be
-//! simulated from a finite capture.
+//! simulated from a finite capture; [`set_once`](TraceFileWorkload::set_once)
+//! (the `--trace-once` escape hatch) pads with non-memory `O` ops after
+//! one full pass instead.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use timekeeping::{Addr, Pc};
 use tk_sim::trace::{Instr, MemRef, Workload};
 
-/// A parse failure, with the offending line number.
+use crate::champsim;
+use crate::gzip::{is_gzip, GzDecoder};
+
+/// Files at or above this size stream from disk instead of
+/// materializing (64 MiB).
+pub const STREAM_THRESHOLD: u64 = 64 * 1024 * 1024;
+
+/// Where in a trace a parse failure occurred.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    /// 1-based line of a text trace (0 when no line applies).
+    Line(usize),
+    /// 1-based record index and absolute byte offset of a binary trace.
+    Record { index: u64, byte: u64 },
+}
+
+/// A parse failure, locating the offending line (text traces) or
+/// record and byte offset (binary traces).
 #[derive(Debug)]
 pub struct ParseTraceError {
-    line: usize,
+    loc: Loc,
     message: String,
 }
 
 impl ParseTraceError {
-    /// 1-based line number of the failure.
+    /// A failure at a 1-based text line (0 when no single line is at
+    /// fault, e.g. an unopenable file or an empty trace).
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            loc: Loc::Line(line),
+            message: message.into(),
+        }
+    }
+
+    /// A failure at a 1-based binary record starting at absolute byte
+    /// offset `byte` — the binary counterpart of [`at_line`](Self::at_line).
+    pub fn at_record(index: u64, byte: u64, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            loc: Loc::Record { index, byte },
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the failure; 0 for failures without one
+    /// (file-level errors and binary-format records).
     pub fn line(&self) -> usize {
-        self.line
+        match self.loc {
+            Loc::Line(line) => line,
+            Loc::Record { .. } => 0,
+        }
+    }
+
+    /// 1-based record index of a binary-trace failure, if any.
+    pub fn record(&self) -> Option<u64> {
+        match self.loc {
+            Loc::Line(_) => None,
+            Loc::Record { index, .. } => Some(index),
+        }
+    }
+
+    /// Absolute byte offset of a binary-trace failure, if any.
+    pub fn byte_offset(&self) -> Option<u64> {
+        match self.loc {
+            Loc::Line(_) => None,
+            Loc::Record { byte, .. } => Some(byte),
+        }
     }
 }
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        match self.loc {
+            Loc::Line(line) => write!(f, "trace line {}: {}", line, self.message),
+            Loc::Record { index, byte } => {
+                write!(
+                    f,
+                    "trace record {} (byte {}): {}",
+                    index, byte, self.message
+                )
+            }
+        }
     }
 }
 
 impl std::error::Error for ParseTraceError {}
 
-/// A workload replaying a captured reference trace, looping at the end.
+/// The on-disk encodings a trace file can use (orthogonal to gzip
+/// compression, which is sniffed by magic on any format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFormat {
+    /// One event per line: `O` / `L addr pc` / `C` / `S` / `P`.
+    Text,
+    /// ChampSim-style 17-byte binary records ([`crate::champsim`]).
+    Champsim,
+}
+
+impl TraceFormat {
+    /// The format's CLI/manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Champsim => "champsim",
+        }
+    }
+}
+
+/// How the instruction stream is held.
+enum Backend {
+    /// Fully materialized (shared so clones are cheap).
+    Eager(Arc<Vec<Instr>>),
+    /// Re-read from disk on every loop.
+    Stream(Stream),
+}
+
+/// A workload replaying a captured reference trace, looping at the end
+/// (or padding with `O` ops once exhausted, in `once` mode).
 ///
 /// # Examples
 ///
@@ -61,74 +184,325 @@ impl std::error::Error for ParseTraceError {}
 /// assert_eq!(w.next_instr(), Instr::Op);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct TraceFileWorkload {
     name: String,
-    instrs: Vec<Instr>,
-    pos: usize,
+    backend: Backend,
+    /// Position of the next instruction within the current loop.
+    pos: u64,
+    /// Events per loop (≥ 1: empty traces are rejected at open).
+    len: u64,
+    /// FNV-1a over the decoded instruction stream (format- and
+    /// compression-independent).
+    digest: u64,
+    format: TraceFormat,
+    compressed: bool,
+    once: bool,
+    exhausted: bool,
+}
+
+impl fmt::Debug for TraceFileWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceFileWorkload")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .field("digest", &format_args!("{:016x}", self.digest))
+            .field("format", &self.format)
+            .field("compressed", &self.compressed)
+            .field("streaming", &self.is_streaming())
+            .field("once", &self.once)
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl Clone for TraceFileWorkload {
+    fn clone(&self) -> Self {
+        let backend = match &self.backend {
+            Backend::Eager(v) => Backend::Eager(Arc::clone(v)),
+            Backend::Stream(s) => Backend::Stream(s.reopen_at(self.pos)),
+        };
+        TraceFileWorkload {
+            name: self.name.clone(),
+            backend,
+            pos: self.pos,
+            len: self.len,
+            digest: self.digest,
+            format: self.format,
+            compressed: self.compressed,
+            once: self.once,
+            exhausted: self.exhausted,
+        }
+    }
+}
+
+// -- digest ------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one instruction into the digest using a canonical encoding
+/// (kind byte, then addr/pc little-endian for memory events), so the
+/// same stream digests identically whether it arrived as text,
+/// gzip-compressed text or ChampSim binary.
+fn digest_instr(h: u64, instr: &Instr) -> u64 {
+    let (kind, mref): (u8, Option<&MemRef>) = match instr {
+        Instr::Op => (0, None),
+        Instr::Load(m) => (1, Some(m)),
+        Instr::ChainedLoad(m) => (2, Some(m)),
+        Instr::Store(m) => (3, Some(m)),
+        Instr::SwPrefetch(m) => (4, Some(m)),
+    };
+    let mut h = fnv_bytes(h, &[kind]);
+    if let Some(m) = mref {
+        h = fnv_bytes(h, &m.addr.get().to_le_bytes());
+        h = fnv_bytes(h, &m.pc.get().to_le_bytes());
+    }
+    h
+}
+
+// -- opening -----------------------------------------------------------------
+
+/// The sniffed head bytes stitched back in front of the rest of the
+/// stream.
+type Resniffed<R> = std::io::Chain<std::io::Cursor<Vec<u8>>, R>;
+
+/// Sniffs the gzip magic and returns a unified reader over the
+/// *decompressed* bytes, plus whether decompression was engaged.
+fn maybe_gunzip<R: Read>(mut reader: R) -> std::io::Result<(bool, Resniffed<R>)> {
+    let mut head = [0u8; 2];
+    let mut got = 0;
+    while got < 2 {
+        match reader.read(&mut head[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let gz = is_gzip(&head[..got]);
+    let chained = std::io::Cursor::new(head[..got].to_vec()).chain(reader);
+    Ok((gz, chained))
+}
+
+fn infer_format(path: &Path) -> TraceFormat {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().to_ascii_lowercase())
+        .unwrap_or_default();
+    let base = name.strip_suffix(".gz").unwrap_or(&name);
+    if base.ends_with(".champsim") {
+        TraceFormat::Champsim
+    } else {
+        TraceFormat::Text
+    }
+}
+
+/// One validation/collection pass over a decompressed byte stream:
+/// parses every event, folds the digest, and (optionally) collects the
+/// instruction vector. `gz` only affects how read errors are located.
+fn scan<R: Read>(
+    reader: R,
+    format: TraceFormat,
+    gz: bool,
+    collect: bool,
+) -> Result<(u64, u64, Vec<Instr>), ParseTraceError> {
+    let mut len: u64 = 0;
+    let mut digest = FNV_OFFSET;
+    let mut instrs = Vec::new();
+    let mut take = |i: Instr| {
+        len += 1;
+        digest = digest_instr(digest, &i);
+        if collect {
+            instrs.push(i);
+        }
+    };
+    match format {
+        TraceFormat::Text => {
+            for (i, line) in BufReader::new(reader).lines().enumerate() {
+                let lineno = i + 1;
+                let line = line.map_err(|e| {
+                    let what = if gz { "gzip read error" } else { "read error" };
+                    ParseTraceError::at_line(lineno, format!("{what}: {e}"))
+                })?;
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                take(TraceFileWorkload::parse_line(line, lineno)?);
+            }
+        }
+        TraceFormat::Champsim => {
+            champsim::read_records(reader, |i| {
+                take(i);
+                Ok(())
+            })?;
+        }
+    }
+    if len == 0 {
+        return Err(ParseTraceError::at_line(0, "empty trace"));
+    }
+    Ok((len, digest, instrs))
 }
 
 impl TraceFileWorkload {
-    /// Parses a trace from any reader. Note that a `&mut R` is also a
-    /// reader, so a mutable reference can be passed for readers you want
-    /// to keep.
+    /// Parses a text-format trace from any reader, transparently
+    /// gunzipping when the stream opens with the gzip magic. Note that
+    /// a `&mut R` is also a reader, so a mutable reference can be
+    /// passed for readers you want to keep.
     ///
     /// # Errors
     ///
-    /// Returns [`ParseTraceError`] on malformed lines, unknown event kinds
-    /// or an empty trace; I/O failures are reported at the line where they
-    /// occur.
+    /// Returns [`ParseTraceError`] on malformed lines, unknown event
+    /// kinds, corrupt gzip bytes or an empty trace; I/O failures are
+    /// reported at the line where they occur.
     pub fn from_reader<R: Read>(name: &str, reader: R) -> Result<Self, ParseTraceError> {
-        let mut instrs = Vec::new();
-        for (i, line) in BufReader::new(reader).lines().enumerate() {
-            let lineno = i + 1;
-            let line = line.map_err(|e| ParseTraceError {
-                line: lineno,
-                message: format!("read error: {e}"),
-            })?;
-            let line = line.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            instrs.push(Self::parse_line(line, lineno)?);
-        }
-        if instrs.is_empty() {
-            return Err(ParseTraceError {
-                line: 0,
-                message: "empty trace".into(),
-            });
-        }
+        Self::from_reader_fmt(name, reader, TraceFormat::Text)
+    }
+
+    /// [`from_reader`](Self::from_reader) with an explicit format
+    /// (gzip is still sniffed transparently).
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_reader`](Self::from_reader).
+    pub fn from_reader_fmt<R: Read>(
+        name: &str,
+        reader: R,
+        format: TraceFormat,
+    ) -> Result<Self, ParseTraceError> {
+        let (gz, chained) = maybe_gunzip(reader)
+            .map_err(|e| ParseTraceError::at_line(0, format!("read error: {e}")))?;
+        let (len, digest, instrs) = if gz {
+            scan(GzDecoder::new(chained), format, true, true)?
+        } else {
+            scan(chained, format, false, true)?
+        };
         Ok(TraceFileWorkload {
             name: name.to_owned(),
-            instrs,
+            backend: Backend::Eager(Arc::new(instrs)),
             pos: 0,
+            len,
+            digest,
+            format,
+            compressed: gz,
+            once: false,
+            exhausted: false,
         })
     }
 
-    /// Parses a trace file from disk; the file's stem becomes the workload
-    /// name.
+    /// Parses a trace file from disk; the file's stem becomes the
+    /// workload name, the format follows the extension (`.champsim`,
+    /// optionally behind `.gz`, selects the binary importer; anything
+    /// else is text), gzip compression is sniffed by magic, and files
+    /// at or above [`STREAM_THRESHOLD`] use the constant-memory
+    /// streaming backend.
     ///
     /// # Errors
     ///
-    /// Returns [`ParseTraceError`] for unreadable or malformed files.
+    /// Returns [`ParseTraceError`] for unreadable or malformed files —
+    /// the whole file is validated before the workload is returned.
+    ///
+    /// # Panics (streaming backend only)
+    ///
+    /// A streaming workload re-reads the file on every loop and on
+    /// [`fork`](Workload::fork); the open-time validation pass makes
+    /// re-parse failures impossible unless the file is modified or
+    /// removed mid-run, which panics with context.
     pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Self, ParseTraceError> {
+        Self::from_path_with(path, None, false)
+    }
+
+    /// [`from_path`](Self::from_path) with an explicit format override
+    /// and/or forced streaming.
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_path`](Self::from_path).
+    pub fn from_path_with<P: AsRef<Path>>(
+        path: P,
+        format: Option<TraceFormat>,
+        force_stream: bool,
+    ) -> Result<Self, ParseTraceError> {
         let path = path.as_ref();
         let name = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "trace".to_owned());
-        let file = std::fs::File::open(path).map_err(|e| ParseTraceError {
-            line: 0,
-            message: format!("cannot open {}: {e}", path.display()),
-        })?;
-        Self::from_reader(&name, file)
+        let format = format.unwrap_or_else(|| infer_format(path));
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let streaming = force_stream || size >= STREAM_THRESHOLD;
+
+        // Validation pass: parse everything once, collecting only when
+        // the eager backend will serve the instructions from memory.
+        let (gz, reader) = open_decompressed(path)?;
+        let (len, digest, instrs) = scan(reader, format, gz, !streaming)?;
+
+        let backend = if streaming {
+            Backend::Stream(Stream::open(path.to_owned(), format))
+        } else {
+            Backend::Eager(Arc::new(instrs))
+        };
+        Ok(TraceFileWorkload {
+            name,
+            backend,
+            pos: 0,
+            len,
+            digest,
+            format,
+            compressed: gz,
+            once: false,
+            exhausted: false,
+        })
+    }
+
+    /// Opens a trace from the CLI `PATH[:fmt]` syntax: trailing
+    /// `:`-separated tags select the format (`text`, `champsim`,
+    /// `auto`) and/or force streaming (`stream`); tags stack, and
+    /// unknown suffixes are treated as part of the path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_path`](Self::from_path).
+    pub fn open_spec(spec: &str) -> Result<Self, ParseTraceError> {
+        let mut path = spec;
+        let mut format: Option<TraceFormat> = None;
+        let mut force_stream = false;
+        while let Some((head, tail)) = path.rsplit_once(':') {
+            match tail.to_ascii_lowercase().as_str() {
+                "text" => {
+                    format.get_or_insert(TraceFormat::Text);
+                    path = head;
+                }
+                "champsim" => {
+                    format.get_or_insert(TraceFormat::Champsim);
+                    path = head;
+                }
+                "auto" => path = head,
+                "stream" => {
+                    force_stream = true;
+                    path = head;
+                }
+                _ => break,
+            }
+        }
+        if path.is_empty() {
+            return Err(ParseTraceError::at_line(
+                0,
+                format!("empty path in `{spec}`"),
+            ));
+        }
+        Self::from_path_with(path, format, force_stream)
     }
 
     fn parse_line(line: &str, lineno: usize) -> Result<Instr, ParseTraceError> {
-        let err = |message: String| ParseTraceError {
-            line: lineno,
-            message,
-        };
+        let err = |message: String| ParseTraceError::at_line(lineno, message);
         let mut parts = line.split_whitespace();
         // Callers pass trimmed, non-empty lines, but a structured error
         // here keeps the parser total over arbitrary input.
@@ -170,7 +544,59 @@ impl TraceFileWorkload {
 
     /// Number of events in one loop of the trace.
     pub fn len(&self) -> usize {
-        self.instrs.len()
+        self.len as usize
+    }
+
+    /// Always false: empty traces are rejected at parse time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// FNV-1a digest of the decoded instruction stream. The digest is
+    /// format- and compression-independent: the same stream stored as
+    /// text, gzipped text or ChampSim binary digests identically, and
+    /// any one-record change produces a different value. The bench
+    /// engine embeds it in cache keys (`trace={digest:016x}`) and
+    /// sampling fingerprints.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The trace's on-disk format.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// Whether the source bytes were gzip-compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// Whether the streaming (constant-memory, re-read-per-loop)
+    /// backend is in use.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.backend, Backend::Stream(_))
+    }
+
+    /// In `once` mode the trace plays a single pass and then emits
+    /// non-memory `O` ops forever instead of wrapping — the
+    /// `--trace-once` escape hatch for the wrap-depends-on-budget seam
+    /// (DESIGN.md §2i).
+    pub fn set_once(&mut self, once: bool) {
+        self.once = once;
+        if !once {
+            self.exhausted = false;
+        }
+    }
+
+    /// Whether `once` mode is armed ([`set_once`](Self::set_once)).
+    pub fn once(&self) -> bool {
+        self.once
+    }
+
+    /// Whether a `once`-mode trace has completed its single pass.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
     }
 
     /// Renders the trace back into the text format, one event per line.
@@ -179,19 +605,44 @@ impl TraceFileWorkload {
     /// parsing the rendered text reproduces the instruction sequence
     /// identically (the round-trip property test in
     /// `tests/trace_ingest.rs` pins this for every [`Instr`] variant).
+    /// On a streaming backend this re-reads the file and materializes
+    /// the full text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for i in &self.instrs {
-            out.push_str(&render_instr(i));
-            out.push('\n');
+        match &self.backend {
+            Backend::Eager(instrs) => {
+                for i in instrs.iter() {
+                    out.push_str(&render_instr(i));
+                    out.push('\n');
+                }
+            }
+            Backend::Stream(s) => {
+                let (gz, reader) = open_decompressed(&s.path).unwrap_or_else(|e| {
+                    panic!("{}: vanished during render: {e}", s.path.display())
+                });
+                let (_, _, instrs) = scan(reader, s.format, gz, true)
+                    .unwrap_or_else(|e| panic!("{}: changed during render: {e}", s.path.display()));
+                for i in &instrs {
+                    out.push_str(&render_instr(i));
+                    out.push('\n');
+                }
+            }
         }
         out
     }
+}
 
-    /// Always false: empty traces are rejected at parse time.
-    pub fn is_empty(&self) -> bool {
-        self.instrs.is_empty()
-    }
+fn open_decompressed(path: &Path) -> Result<(bool, Box<dyn Read + Send>), ParseTraceError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ParseTraceError::at_line(0, format!("cannot open {}: {e}", path.display())))?;
+    let (gz, chained) =
+        maybe_gunzip(file).map_err(|e| ParseTraceError::at_line(0, format!("read error: {e}")))?;
+    let reader: Box<dyn Read + Send> = if gz {
+        Box::new(GzDecoder::new(chained))
+    } else {
+        Box::new(chained)
+    };
+    Ok((gz, reader))
 }
 
 /// Renders one instruction in the trace-file text format (no newline).
@@ -209,21 +660,134 @@ pub fn render_instr(instr: &Instr) -> String {
     }
 }
 
+// -- streaming backend -------------------------------------------------------
+
+/// The streaming backend: an open decode pipeline over the file, torn
+/// down and reopened at every wrap. Parse/IO failures after the
+/// open-time validation pass mean the file changed mid-run and panic.
+struct Stream {
+    path: PathBuf,
+    format: TraceFormat,
+    reader: BufReader<Box<dyn Read + Send>>,
+    /// 1-based location of the next event (text line / binary record).
+    at: u64,
+}
+
+impl Stream {
+    fn open(path: PathBuf, format: TraceFormat) -> Stream {
+        let (_, reader) = open_decompressed(&path)
+            .unwrap_or_else(|e| panic!("{}: vanished during replay: {e}", path.display()));
+        Stream {
+            path,
+            format,
+            reader: BufReader::new(reader),
+            at: 0,
+        }
+    }
+
+    /// A fresh pipeline advanced past `pos` events (clone support).
+    fn reopen_at(&self, pos: u64) -> Stream {
+        let mut s = Stream::open(self.path.clone(), self.format);
+        for _ in 0..pos {
+            if s.next().is_none() {
+                panic!("{}: shrank during replay", self.path.display());
+            }
+        }
+        s
+    }
+
+    /// Next event, or `None` at a clean end of file.
+    fn next(&mut self) -> Option<Instr> {
+        match self.format {
+            TraceFormat::Text => {
+                let mut buf = String::new();
+                loop {
+                    buf.clear();
+                    self.at += 1;
+                    let n = self.reader.read_line(&mut buf).unwrap_or_else(|e| {
+                        panic!("{}: read error during replay: {e}", self.path.display())
+                    });
+                    if n == 0 {
+                        return None;
+                    }
+                    let line = buf.split('#').next().unwrap_or("").trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let instr = TraceFileWorkload::parse_line(line, self.at as usize)
+                        .unwrap_or_else(|e| {
+                            panic!("{}: changed during replay: {e}", self.path.display())
+                        });
+                    return Some(instr);
+                }
+            }
+            TraceFormat::Champsim => {
+                let mut buf = [0u8; champsim::RECORD_BYTES];
+                let mut got = 0;
+                while got < buf.len() {
+                    match self.reader.read(&mut buf[got..]) {
+                        Ok(0) => break,
+                        Ok(n) => got += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("{}: read error during replay: {e}", self.path.display()),
+                    }
+                }
+                if got == 0 {
+                    return None;
+                }
+                self.at += 1;
+                if got < buf.len() {
+                    panic!("{}: truncated during replay", self.path.display());
+                }
+                let instr = champsim::parse_record(&buf, self.at).unwrap_or_else(|e| {
+                    panic!("{}: changed during replay: {e}", self.path.display())
+                });
+                Some(instr)
+            }
+        }
+    }
+
+    /// Next event, wrapping to the start of the file at EOF.
+    fn next_or_wrap(&mut self) -> Instr {
+        if let Some(i) = self.next() {
+            return i;
+        }
+        *self = Stream::open(self.path.clone(), self.format);
+        self.next()
+            .unwrap_or_else(|| panic!("{}: emptied during replay", self.path.display()))
+    }
+}
+
 impl Workload for TraceFileWorkload {
     fn next_instr(&mut self) -> Instr {
-        let i = self.instrs[self.pos];
-        self.pos = (self.pos + 1) % self.instrs.len();
-        i
+        if self.exhausted {
+            return Instr::Op;
+        }
+        let instr = match &mut self.backend {
+            Backend::Eager(instrs) => instrs[self.pos as usize],
+            Backend::Stream(s) => s.next_or_wrap(),
+        };
+        self.pos += 1;
+        if self.pos >= self.len {
+            self.pos = 0;
+            self.exhausted = self.once;
+        }
+        instr
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gzip::gzip_store;
 
     #[test]
     fn parses_all_event_kinds() {
@@ -281,6 +845,114 @@ mod tests {
         assert_eq!(w.name(), "mini");
         assert_eq!(w.len(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gzip_is_transparent_and_digest_invariant() {
+        let text = "O\nL 7f001040 400a\nS 7f001048 4012\n";
+        let plain = TraceFileWorkload::from_reader("t", text.as_bytes()).unwrap();
+        let gz = gzip_store(text.as_bytes());
+        let zipped = TraceFileWorkload::from_reader("t", &gz[..]).unwrap();
+        assert!(zipped.is_compressed());
+        assert!(!plain.is_compressed());
+        assert_eq!(plain.len(), zipped.len());
+        assert_eq!(plain.digest(), zipped.digest());
+        assert_eq!(plain.render(), zipped.render());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_one_record() {
+        let a = TraceFileWorkload::from_reader("a", "L 10 1\nS 20 2\n".as_bytes()).unwrap();
+        let b = TraceFileWorkload::from_reader("b", "L 10 1\nS 20 3\n".as_bytes()).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn champsim_and_text_share_a_digest() {
+        let instrs = [
+            Instr::Op,
+            Instr::Load(MemRef::new(Addr::new(0x10), Pc::new(0x1))),
+            Instr::Store(MemRef::new(Addr::new(0x20), Pc::new(0x2))),
+        ];
+        let bin = crate::champsim::render_trace(&instrs);
+        let cs = TraceFileWorkload::from_reader_fmt("t", &bin[..], TraceFormat::Champsim).unwrap();
+        let txt = TraceFileWorkload::from_reader("t", "O\nL 10 1\nS 20 2\n".as_bytes()).unwrap();
+        assert_eq!(cs.digest(), txt.digest());
+        assert_eq!(cs.render(), txt.render());
+    }
+
+    #[test]
+    fn open_spec_parses_format_and_stream_tags() {
+        let dir = std::env::temp_dir().join("tk_trace_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.trace");
+        std::fs::write(&path, "L 1040 400\nO\n").unwrap();
+        let base = path.display().to_string();
+
+        let w = TraceFileWorkload::open_spec(&base).unwrap();
+        assert!(!w.is_streaming());
+        assert_eq!(w.format(), TraceFormat::Text);
+
+        let w = TraceFileWorkload::open_spec(&format!("{base}:text:stream")).unwrap();
+        assert!(w.is_streaming());
+        assert_eq!(w.format(), TraceFormat::Text);
+
+        assert!(TraceFileWorkload::open_spec(":stream").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_and_eager_yield_identical_streams() {
+        let dir = std::env::temp_dir().join("tk_trace_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.trace");
+        let mut text = String::from("# captured\n");
+        for i in 0..300u64 {
+            text.push_str(&format!(
+                "L {:x} {:x}\nO\nS {:x} {:x}\n",
+                0x1000 + i * 32,
+                0x40 + i,
+                0x9000 + i * 8,
+                0x80 + i
+            ));
+        }
+        std::fs::write(&path, &text).unwrap();
+
+        let mut eager = TraceFileWorkload::from_path(&path).unwrap();
+        let mut stream = TraceFileWorkload::from_path_with(&path, None, true).unwrap();
+        assert!(!eager.is_streaming());
+        assert!(stream.is_streaming());
+        assert_eq!(eager.digest(), stream.digest());
+        assert_eq!(eager.len(), stream.len());
+        // Walk well past one wrap: every instruction must agree.
+        for i in 0..(eager.len() * 2 + 7) {
+            assert_eq!(eager.next_instr(), stream.next_instr(), "instr {i}");
+        }
+        // Clones resume from the current position identically.
+        let mut ec = eager.clone();
+        let mut sc = stream.clone();
+        for i in 0..23 {
+            let want = ec.next_instr();
+            assert_eq!(want, sc.next_instr(), "cloned instr {i}");
+            assert_eq!(want, eager.next_instr());
+            assert_eq!(want, stream.next_instr());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn once_mode_pads_with_ops_after_one_pass() {
+        let mut w = TraceFileWorkload::from_reader("t", "L 10 1\nS 20 2\n".as_bytes()).unwrap();
+        w.set_once(true);
+        assert!(matches!(w.next_instr(), Instr::Load(_)));
+        assert!(matches!(w.next_instr(), Instr::Store(_)));
+        assert!(w.exhausted());
+        for _ in 0..10 {
+            assert_eq!(w.next_instr(), Instr::Op);
+        }
+        // Disarming resumes the loop from the top.
+        w.set_once(false);
+        assert!(matches!(w.next_instr(), Instr::Load(_)));
     }
 
     #[test]

@@ -179,3 +179,166 @@ fn structured_errors_replace_the_old_panics() {
         assert_eq!(e.line(), line, "{text:?}");
     }
 }
+
+/// Gzip-framed byte soup: a valid member header followed by garbage.
+/// The streaming decoder must surface a structured error (or, for the
+/// rare soup that decodes, a usable workload) — never a panic. Line
+/// numbers are meaningless inside a corrupt compressed stream, so only
+/// totality is asserted.
+#[test]
+fn gzip_byte_soup_never_panics() {
+    let mut rng = Rng::new(0x621b_50af);
+    for _ in 0..2_000u64 {
+        let len = rng.below(200) as usize;
+        let mut soup = vec![0x1f, 0x8b]; // the gzip magic the sniffer keys on
+        soup.extend(byte_soup(&mut rng, len));
+        if let Err(e) = TraceFileWorkload::from_reader("gz-soup", &soup[..]) {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+/// Truncating a valid gzip member at every byte boundary never panics,
+/// and the untruncated stream still parses.
+#[test]
+fn truncated_gzip_members_never_panic() {
+    let text = "L 1000 40\nS 1020 44\nO\nC 2000 48\nP 3000 4c\n".repeat(40);
+    let gz = tk_workloads::gzip::gzip_store(text.as_bytes());
+    for cut in 1..gz.len() {
+        if let Err(e) = TraceFileWorkload::from_reader("cut", &gz[..cut]) {
+            assert!(!e.to_string().is_empty(), "cut at {cut}");
+        }
+    }
+    let w = TraceFileWorkload::from_reader("full", &gz[..]).expect("untruncated member parses");
+    assert_eq!(w.len(), 200);
+    assert!(w.is_compressed());
+}
+
+/// Render→gzip→parse is still the identity, and compression is
+/// invisible to the content digest.
+#[test]
+fn render_parse_identity_survives_gzip() {
+    let mut rng = Rng::new(0x9b1e_55ed);
+    for case in 0..200u64 {
+        let n = rng.below(64) as usize + 1;
+        let instrs: Vec<Instr> = (0..n).map(|_| arbitrary_instr(&mut rng)).collect();
+        let text: String = instrs.iter().map(|i| render_instr(i) + "\n").collect();
+        let plain = TraceFileWorkload::from_reader("rt", text.as_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: plain parse: {e}"));
+        let gz = tk_workloads::gzip::gzip_store(text.as_bytes());
+        let mut w = TraceFileWorkload::from_reader("rt", &gz[..])
+            .unwrap_or_else(|e| panic!("case {case}: gzip parse: {e}"));
+        assert!(w.is_compressed(), "case {case}");
+        assert_eq!(w.len(), instrs.len(), "case {case}");
+        assert_eq!(
+            w.digest(),
+            plain.digest(),
+            "case {case}: digest must ignore compression"
+        );
+        for (k, want) in instrs.iter().enumerate() {
+            assert_eq!(w.next_instr(), *want, "case {case}, instr {k}");
+        }
+    }
+}
+
+/// ChampSim export→import reproduces the stream up to the documented
+/// lossy mapping: chained loads and software prefetches degrade to
+/// plain loads, everything else is exact.
+#[test]
+fn champsim_round_trip_is_identity_up_to_the_lossy_mapping() {
+    use tk_workloads::champsim;
+    let mut rng = Rng::new(0xc4a9_5131);
+    for case in 0..200u64 {
+        let n = rng.below(64) as usize + 1;
+        let instrs: Vec<Instr> = (0..n).map(|_| arbitrary_instr(&mut rng)).collect();
+        let bytes = champsim::render_trace(&instrs);
+        let mut w = TraceFileWorkload::from_reader_fmt(
+            "cs",
+            &bytes[..],
+            tk_workloads::TraceFormat::Champsim,
+        )
+        .unwrap_or_else(|e| panic!("case {case}: rendered champsim must parse: {e}"));
+        assert_eq!(w.len(), instrs.len(), "case {case}");
+        for (k, want) in instrs.iter().enumerate() {
+            let want = match *want {
+                Instr::ChainedLoad(m) | Instr::SwPrefetch(m) => Instr::Load(m),
+                other => other,
+            };
+            assert_eq!(w.next_instr(), want, "case {case}, instr {k}");
+        }
+    }
+}
+
+/// ChampSim parse failures mirror `ParseTraceError::line` for binary
+/// input: the error carries the 1-based record index and the absolute
+/// byte offset of the offending record.
+#[test]
+fn champsim_errors_locate_the_offending_record() {
+    use tk_workloads::champsim::{self, RECORD_BYTES};
+    let good: Vec<Instr> = vec![
+        Instr::Load(MemRef::new(
+            timekeeping::Addr::new(0x1000),
+            timekeeping::Pc::new(0x40),
+        )),
+        Instr::Op,
+        Instr::Store(MemRef::new(
+            timekeeping::Addr::new(0x2000),
+            timekeeping::Pc::new(0x44),
+        )),
+    ];
+    let mut bytes = champsim::render_trace(&good);
+
+    // An out-of-range kind byte in the third record.
+    bytes[2 * RECORD_BYTES] = 7;
+    let e =
+        TraceFileWorkload::from_reader_fmt("cs", &bytes[..], tk_workloads::TraceFormat::Champsim)
+            .expect_err("kind byte 7 must be rejected");
+    assert!(e.to_string().contains("kind byte 7"), "{e}");
+    assert_eq!(e.record(), Some(3));
+    assert_eq!(e.byte_offset(), Some(2 * RECORD_BYTES as u64));
+    assert_eq!(e.line(), 0, "binary errors report record, not line");
+
+    // A truncated trailing record.
+    bytes[2 * RECORD_BYTES] = 1;
+    bytes.truncate(3 * RECORD_BYTES - 5);
+    let e =
+        TraceFileWorkload::from_reader_fmt("cs", &bytes[..], tk_workloads::TraceFormat::Champsim)
+            .expect_err("partial trailing record must be rejected");
+    assert!(e.to_string().contains("truncated record"), "{e}");
+    assert_eq!(e.record(), Some(3));
+    assert_eq!(e.byte_offset(), Some(2 * RECORD_BYTES as u64));
+}
+
+/// The content digest names the decoded instruction stream, not its
+/// encoding: the same stream serialized as text, gzipped text, and
+/// ChampSim binary digests identically.
+#[test]
+fn digest_is_format_and_compression_independent() {
+    use tk_workloads::champsim;
+    let mut rng = Rng::new(0xd16e_57ab);
+    // Only the lossless subset: the champsim leg would degrade C/P.
+    let instrs: Vec<Instr> = (0..256)
+        .map(|_| loop {
+            match arbitrary_instr(&mut rng) {
+                Instr::ChainedLoad(_) | Instr::SwPrefetch(_) => continue,
+                i => break i,
+            }
+        })
+        .collect();
+    let text: String = instrs.iter().map(|i| render_instr(i) + "\n").collect();
+    let gz = tk_workloads::gzip::gzip_store(text.as_bytes());
+    let bin = champsim::render_trace(&instrs);
+
+    let d_text = TraceFileWorkload::from_reader("t", text.as_bytes())
+        .unwrap()
+        .digest();
+    let d_gz = TraceFileWorkload::from_reader("t", &gz[..])
+        .unwrap()
+        .digest();
+    let d_bin =
+        TraceFileWorkload::from_reader_fmt("t", &bin[..], tk_workloads::TraceFormat::Champsim)
+            .unwrap()
+            .digest();
+    assert_eq!(d_text, d_gz);
+    assert_eq!(d_text, d_bin);
+}

@@ -8,6 +8,7 @@ use std::sync::Mutex;
 use timekeeping::{CorrelationConfig, Snapshot};
 use tk_bench::engine::{self, Job};
 use tk_bench::runner::{run_bench, run_suite, FigureOpts};
+use tk_bench::workload::WorkloadId;
 use tk_sim::{
     run_workload, ConfigError, PrefetchMode, RunResult, SampleConfig, SystemConfig, VictimMode,
 };
@@ -19,7 +20,7 @@ static ENGINE_LOCK: Mutex<()> = Mutex::new(());
 
 const INSTS: u64 = 250_000;
 
-fn serial_reference(bench: SpecBenchmark, cfg: SystemConfig, seed: u64, insts: u64) -> RunResult {
+fn serial_reference(bench: WorkloadId, cfg: SystemConfig, seed: u64, insts: u64) -> RunResult {
     run_workload(&mut bench.build(seed), cfg, insts)
 }
 
@@ -214,7 +215,7 @@ fn disk_cache_round_trips_results_across_memo_resets() {
 #[test]
 fn snapshot_round_trip_is_exact_on_a_real_run() {
     let r = serial_reference(
-        SpecBenchmark::Swim,
+        WorkloadId::Spec(SpecBenchmark::Swim),
         SystemConfig::with_prefetch(PrefetchMode::Timekeeping(CorrelationConfig::PAPER_8KB)),
         1,
         INSTS,

@@ -201,3 +201,90 @@ fn sampled_runs_reproduce_bit_identically() {
     let second = run(SpecBenchmark::Art, sampled_cfg(5_000, 4), BUDGET);
     assert_eq!(first, second);
 }
+
+/// External traces compose with `--sample`: a registered `--trace-file`
+/// workload runs sampled, keeps its tag, and reproduces bit-identically.
+#[test]
+fn sampling_composes_with_trace_file_workloads() {
+    const BUDGET: u64 = 60_000;
+    let dir = std::env::temp_dir().join(format!("tk-sample-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("sampled.trace");
+    let mut text = String::new();
+    for i in 0u64..48_000 {
+        text.push_str(&format!("L {:x} {:x}\n", (i % 4_096) * 32, 0x400 + i % 64));
+    }
+    std::fs::write(&path, &text).expect("write trace");
+
+    let h = tk_bench::register_trace(path.to_str().expect("utf-8 temp path"))
+        .expect("registering the trace");
+    let id = tk_bench::WorkloadId::Trace(h);
+    let first = run_workload(&mut id.build(1), sampled_cfg(10_000, 3), BUDGET);
+    let second = run_workload(&mut id.build(1), sampled_cfg(10_000, 3), BUDGET);
+
+    let stats = first.sampled.expect("sampled trace replay keeps its tag");
+    assert_eq!(stats.representatives, 3);
+    assert_eq!(first.core.instructions, BUDGET);
+    assert_eq!(first, second, "sampled trace replay must be deterministic");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// The adversarial checkpoint-aliasing case: two traces identical
+/// through the 32 Ki-instruction stream probe but differing in one
+/// record beyond it. The probe cannot tell them apart — the
+/// digest-qualified workload name must, so their checkpoint
+/// fingerprints and engine cache keys never alias.
+#[test]
+fn trace_fingerprints_incorporate_the_content_digest() {
+    const BUDGET: u64 = 120_000;
+    let dir = std::env::temp_dir().join(format!("tk-fp-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut lines: Vec<String> = (0u64..40_000)
+        .map(|i| format!("L {:x} {:x}", (i % 2_048) * 32, 0x800 + i % 32))
+        .collect();
+    let a_path = dir.join("a.trace");
+    std::fs::write(&a_path, lines.join("\n")).expect("write trace a");
+    // One record, well past the probe window, flips to a store at a
+    // fresh address.
+    lines[36_000] = "S deadbe0 999".to_owned();
+    let b_path = dir.join("b.trace");
+    std::fs::write(&b_path, lines.join("\n")).expect("write trace b");
+
+    let a = tk_bench::WorkloadId::Trace(
+        tk_bench::register_trace(a_path.to_str().unwrap()).expect("register a"),
+    );
+    let b = tk_bench::WorkloadId::Trace(
+        tk_bench::register_trace(b_path.to_str().unwrap()).expect("register b"),
+    );
+
+    let a_probe = tk_sim::stream_probe(&a.build(1)).expect("traces fork, so they probe");
+    let b_probe = tk_sim::stream_probe(&b.build(1)).expect("traces fork, so they probe");
+    assert_eq!(
+        a_probe, b_probe,
+        "the premise: identical prefixes defeat the probe"
+    );
+
+    let cfg = sampled_cfg(10_000, 3);
+    let a_fp = tk_sim::job_fingerprint(a_probe, &a.name(), &cfg, BUDGET)
+        .expect("sampled configs fingerprint");
+    let b_fp = tk_sim::job_fingerprint(b_probe, &b.name(), &cfg, BUDGET)
+        .expect("sampled configs fingerprint");
+    assert_ne!(
+        a_fp, b_fp,
+        "digest-qualified names must separate probe-aliased traces"
+    );
+
+    let a_key = tk_bench::Job::new(a, cfg, 1, BUDGET).cache_key();
+    let b_key = tk_bench::Job::new(b, cfg, 1, BUDGET).cache_key();
+    assert_ne!(
+        a_key, b_key,
+        "cache keys must separate probe-aliased traces"
+    );
+
+    let _ = std::fs::remove_file(&a_path);
+    let _ = std::fs::remove_file(&b_path);
+    let _ = std::fs::remove_dir(&dir);
+}
